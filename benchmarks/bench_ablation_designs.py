@@ -1,0 +1,56 @@
+"""Ablation — the BSL -> PCK -> MLP design axes, taken apart.
+
+Two independent mechanisms separate the revisions (Section 5.2):
+
+* the **packer register** (PCK), which batches reorganization-buffer
+  writes into one wide write per packed line;
+* **memory-level parallelism** (MLP), outstanding DRAM transactions that
+  overlap the long PL->DRAM round trip.
+
+This ablation sweeps the outstanding-transaction count with the packer on
+and off, showing each knob's contribution to the cold fill time.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import ExperimentRunner, make_relation
+from repro.bench.report import render_table
+from repro.query import q1
+from repro.rme.designs import DesignParams
+
+
+def sweep_designs(n_rows):
+    table = make_relation(n_rows)
+    runner = ExperimentRunner()
+    rows = []
+    times = {}
+    for packer in (False, True):
+        for outstanding in (1, 2, 4, 8, 16):
+            design = DesignParams(
+                name=f"{'pck' if packer else 'raw'}-{outstanding}",
+                outstanding_txns=outstanding,
+                packer=packer,
+                serial_write=outstanding == 1,
+            )
+            cold = runner.time_rme(table, q1(), design, hot=False)
+            times[(packer, outstanding)] = cold.elapsed_ns
+            rows.append([design.name, outstanding, packer, cold.elapsed_ns])
+    direct = runner.time_direct(table, q1()).elapsed_ns
+    return rows, times, direct
+
+
+def bench_ablation_designs(benchmark):
+    rows, times, direct = run_once(benchmark, sweep_designs, n_rows=N_ROWS // 2)
+    print()
+    print(render_table(["design", "outstanding", "packer", "cold ns"], rows))
+    print(f"direct baseline: {direct:,.0f} ns")
+
+    # More outstanding transactions monotonically reduce the fill time.
+    for packer in (False, True):
+        series = [times[(packer, n)] for n in (1, 2, 4, 8, 16)]
+        assert series == sorted(series, reverse=True)
+    # The packer helps the serial design (it removes per-chunk write stalls).
+    assert times[(True, 1)] < times[(False, 1)]
+    # Only the full MLP configuration beats the direct route.
+    assert times[(True, 16)] < direct
+    assert times[(False, 1)] > 10 * direct

@@ -1,0 +1,55 @@
+"""Ablation — DRAM structure awareness (banks and row-buffer locality).
+
+The RME's requestor walks rows in address order, which keeps its one-beat
+reads inside open DRAM rows; its MLP revision additionally spreads
+outstanding transactions across banks. This ablation quantifies both:
+fewer banks serialize the fetch pipeline, and a tiny row buffer destroys
+the open-page locality every path relies on.
+"""
+
+import dataclasses
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import ExperimentRunner, make_relation
+from repro.bench.report import render_table
+from repro.config import ZCU102
+from repro.query import q1
+from repro.rme.designs import MLP
+
+
+def sweep_dram(n_rows):
+    table = make_relation(n_rows)
+    bank_rows = []
+    for n_banks in (1, 2, 4, 8):
+        dram = dataclasses.replace(ZCU102.dram, n_banks=n_banks)
+        runner = ExperimentRunner(
+            platform=ZCU102.with_overrides(dram=dram), designs=(MLP,)
+        )
+        cold = runner.time_rme(table, q1(), MLP, hot=False).elapsed_ns
+        bank_rows.append((n_banks, cold))
+
+    page_rows = []
+    for row_buffer in (128, 512, 2048):
+        dram = dataclasses.replace(ZCU102.dram, row_buffer_bytes=row_buffer)
+        runner = ExperimentRunner(
+            platform=ZCU102.with_overrides(dram=dram), designs=(MLP,)
+        )
+        direct = runner.time_direct(table, q1()).elapsed_ns
+        cold = runner.time_rme(table, q1(), MLP, hot=False).elapsed_ns
+        page_rows.append((row_buffer, direct, cold))
+    return bank_rows, page_rows
+
+
+def bench_ablation_dram(benchmark):
+    bank_rows, page_rows = run_once(benchmark, sweep_dram, n_rows=N_ROWS // 2)
+    print()
+    print(render_table(["banks", "MLP cold ns"], bank_rows))
+    print(render_table(["row buffer B", "direct ns", "MLP cold ns"], page_rows))
+
+    cold_by_banks = dict(bank_rows)
+    # Bank-level parallelism helps the 16-outstanding fetch pipeline.
+    assert cold_by_banks[8] <= cold_by_banks[1]
+    # Small row buffers increase row misses and never help.
+    direct_by_page = {p: d for p, d, _ in page_rows}
+    assert direct_by_page[2048] <= direct_by_page[128]

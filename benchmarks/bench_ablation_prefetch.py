@@ -1,0 +1,53 @@
+"""Ablation — the CPU stream prefetcher's role in Figures 7 and 10.
+
+The sequential prefetcher is what keeps the direct route competitive on
+line-sized rows and what makes the packed (columnar / RME-hot) scans
+stream; its inability to follow multi-line strides is what makes wide
+rows so expensive for the direct route (Figure 10's growing gap).
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import ExperimentRunner, make_relation
+from repro.bench.report import render_table
+from repro.bench.workloads import make_relation_for_row_size
+from repro.config import ZCU102
+from repro.query import q1
+from repro.rme.designs import MLP
+
+
+def sweep_prefetch(n_rows):
+    results = []
+    for degree in (0, 1, 2, 4, 8):
+        platform = ZCU102.with_overrides(prefetch_degree=degree)
+        runner = ExperimentRunner(platform=platform, designs=(MLP,))
+        table = make_relation(n_rows)
+        direct = runner.time_direct(table, q1()).elapsed_ns
+        hot = runner.time_rme(table, q1(), MLP, hot=True).elapsed_ns
+        results.append((degree, direct, hot))
+    # Wide rows: prefetch cannot follow the 2-line stride at any degree.
+    wide = make_relation_for_row_size(n_rows, 128, 4)
+    wide_no = ExperimentRunner(
+        platform=ZCU102.with_overrides(prefetch_degree=0), designs=(MLP,)
+    ).time_direct(wide, q1()).elapsed_ns
+    wide_yes = ExperimentRunner(designs=(MLP,)).time_direct(wide, q1()).elapsed_ns
+    return results, wide_no, wide_yes
+
+
+def bench_ablation_prefetch(benchmark):
+    results, wide_no, wide_yes = run_once(
+        benchmark, sweep_prefetch, n_rows=N_ROWS // 2
+    )
+    print()
+    print(render_table(["degree", "direct ns", "RME hot ns"], results))
+    print(f"128B rows, degree 0: {wide_no:,.0f} ns; degree 4: {wide_yes:,.0f} ns")
+
+    by_degree = {deg: (direct, hot) for deg, direct, hot in results}
+    # Prefetching pays on the sequential direct scan...
+    assert by_degree[4][0] < by_degree[0][0] * 0.7
+    # ...and on the packed ephemeral scan.
+    assert by_degree[4][1] < by_degree[0][1]
+    # Degrees beyond the MSHR budget stop helping much.
+    assert by_degree[8][0] > by_degree[4][0] * 0.8
+    # Wide rows defeat the stream prefetcher entirely: degree is irrelevant.
+    assert abs(wide_no - wide_yes) < 0.1 * wide_no

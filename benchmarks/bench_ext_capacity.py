@@ -1,0 +1,50 @@
+"""Extension — the on-chip capacity cliff (Section 6.2's avoided regime).
+
+The paper constrains every experiment so the extracted columns fit the
+2 MB reorganization buffer, noting that larger data needs a costly
+periodic re-initialisation. The windowed mode implements that regime;
+this benchmark maps the cliff: query time vs. buffer capacity for a fixed
+projection, against the direct-access baseline that has no cliff.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro import RelationalMemorySystem, QueryExecutor, q4
+from repro.bench import make_relation
+from repro.bench.report import render_table
+
+
+def sweep_capacity(n_rows):
+    table = make_relation(n_rows)
+    projected = 4 * n_rows
+    rows = []
+    baseline = None
+    for capacity in (projected // 8, projected // 4, projected // 2, projected):
+        system = RelationalMemorySystem(buffer_capacity=max(64, capacity))
+        loaded = system.load_table(table)
+        var = system.register_var(loaded, ["A1"],
+                                  windowed=capacity < projected)
+        result = QueryExecutor(system).run_rme(q4(), var)
+        windows = system.rme.n_windows
+        rows.append([capacity, windows, result.elapsed_ns])
+        if capacity == projected:
+            baseline = result.elapsed_ns
+    direct_system = RelationalMemorySystem()
+    loaded = direct_system.load_table(make_relation(n_rows, seed=1))
+    direct = QueryExecutor(direct_system).run_direct(q4(), loaded).elapsed_ns
+    return rows, baseline, direct
+
+
+def bench_ext_capacity_cliff(benchmark):
+    rows, fits, direct = run_once(benchmark, sweep_capacity, n_rows=N_ROWS)
+    print()
+    print(render_table(["buffer B", "windows", "RME cold ns"], rows))
+    print(f"direct baseline: {direct:,.0f} ns")
+
+    times = [t for _cap, _w, t in rows]
+    # Smaller buffers mean more windows and more re-initialisation cost.
+    assert times == sorted(times, reverse=True)
+    # With the projection resident, the engine beats the direct route...
+    assert fits < direct
+    # ...and the smallest buffer pays enough refills to lose the edge.
+    assert times[0] > fits * 1.5

@@ -1,0 +1,71 @@
+"""Extension — HTAP isolation on a multi-core cluster.
+
+The paper argues the RME "minimizes the waste of constrained CPU cache
+estate [...] and lower[s] cache pollution". On a multi-core SoC that
+pollution is *shared*: an analytical scan on one core sweeps the shared
+L2 and hogs the DRAM bus, hurting a latency-sensitive transactional core
+next to it.
+
+This benchmark co-runs an OLTP core (random point reads over its working
+set) with an analytics core executing the same column scan three ways —
+not at all, as a direct row scan, and through the RME — and measures the
+OLTP core's completion time. The RME keeps the analytical footprint to
+the packed column, preserving most of the transactional core's cache and
+bandwidth.
+"""
+
+import random
+
+from conftest import N_ROWS, run_once
+
+from repro import RelationalMemorySystem
+from repro.bench import make_relation
+from repro.bench.report import render_table
+from repro.memsys.cpu import ScanSegment
+
+
+def oltp_latency(analytics_mode: str, n_rows: int) -> float:
+    system = RelationalMemorySystem(n_cores=2)
+    oltp = system.load_table(make_relation(1024, seed=1, name="oltp"))
+    olap = system.load_table(make_relation(2 * n_rows, seed=2, name="olap"))
+    rng = random.Random(3)
+    points = [(oltp.base_addr + rng.randrange(1024) * 64, 8) for _ in range(800)]
+    system.measure_points(points[:400])  # warm the OLTP working set
+
+    if analytics_mode == "direct":
+        analytics = [ScanSegment(olap.base_addr, 2 * n_rows, 4, 64, 0.7)]
+    elif analytics_mode == "rme":
+        var = system.register_var(olap, ["A1"])
+        analytics = var.scan_segment(0.7)
+    else:
+        analytics = []
+
+    workloads = [points[400:]]
+    if analytics:
+        workloads.append(analytics)
+    return system.measure_parallel(workloads)[0]
+
+
+def sweep(n_rows):
+    return {
+        mode: oltp_latency(mode, n_rows)
+        for mode in ("alone", "direct", "rme")
+    }
+
+
+def bench_ext_isolation(benchmark):
+    times = run_once(benchmark, sweep, n_rows=N_ROWS)
+    rows = [
+        [mode, times[mode], f"+{(times[mode] / times['alone'] - 1) * 100:.0f}%"]
+        for mode in ("alone", "direct", "rme")
+    ]
+    print()
+    print(render_table(["analytics neighbour", "OLTP core ns", "slowdown"], rows))
+
+    direct_slowdown = times["direct"] / times["alone"]
+    rme_slowdown = times["rme"] / times["alone"]
+    assert direct_slowdown > 1.2, "direct analytics should visibly interfere"
+    assert rme_slowdown < direct_slowdown, "the RME must interfere less"
+    # The RME neighbour costs at most a third of the direct neighbour's
+    # added latency.
+    assert (rme_slowdown - 1) < (direct_slowdown - 1) / 3

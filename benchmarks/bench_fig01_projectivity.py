@@ -1,0 +1,24 @@
+"""Figure 1 — query cost vs. projectivity (the paper's motivating figure).
+
+Row-wise accesses have constant cost; columnar accesses grow with
+projectivity; the ideal (and Relational Memory) is the minimum of the two.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig01_projectivity, render_figure
+
+
+def bench_fig01_projectivity(benchmark):
+    fig = run_once(benchmark, fig01_projectivity, n_points=20)
+    print()
+    print(render_figure(fig))
+
+    rows = fig.series["row_store"]
+    cols = fig.series["column_store"]
+    assert len(set(rows)) == 1, "row-store cost must be flat"
+    assert all(a <= b for a, b in zip(cols, cols[1:])), "columnar cost must rise"
+    assert fig.series["ideal"] == [min(r, c) for r, c in zip(rows, cols)]
+    # The crossover the paper draws: columns win at low projectivity,
+    # rows win at (or near) 100%.
+    assert cols[0] < rows[0] and cols[-1] > rows[-1]

@@ -1,0 +1,36 @@
+"""Figure 6 — normalized Q1 time across access paths and RME designs.
+
+Paper claims reproduced here:
+* cold BSL is ~16x slower than the direct row access;
+* the PCK and MLP revisions progressively close the gap;
+* cold MLP beats the direct route (~20% lower latency);
+* hot MLP matches the columnar baseline ("no data transformation
+  latency");
+* the MLP benefit shrinks as the column width grows.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import fig06_q1_designs, render_figure
+
+
+def bench_fig06_q1_designs(benchmark):
+    fig = run_once(benchmark, fig06_q1_designs, n_rows=N_ROWS)
+    print()
+    print(render_figure(fig, normalized_to="Direct"))
+
+    norm = fig.normalized("Direct")
+    for i, width in enumerate(fig.xs):
+        bsl = norm.series["BSL cold"][i]
+        pck = norm.series["PCK cold"][i]
+        mlp = norm.series["MLP cold"][i]
+        assert mlp < pck < bsl, f"design progression broken at width {width}"
+        assert 10 < bsl < 25, f"BSL cold should be ~16x direct, got {bsl:.1f}x"
+        assert mlp < 1.0, f"MLP cold should beat direct at width {width}"
+        hot = norm.series["MLP hot"][i]
+        col = norm.series["Columnar"][i]
+        assert hot < 0.45, "hot MLP must be far below direct"
+        assert hot / col < 1.6, "hot MLP ~ columnar (same-latency claim)"
+    # Hot benefit shrinks with width (fewer lines to skip).
+    hots = norm.series["MLP hot"]
+    assert hots[0] < hots[-1]

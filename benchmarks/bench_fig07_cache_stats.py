@@ -1,0 +1,23 @@
+"""Figure 7 — L1/L2 cache requests and misses during Q1.
+
+The RME packs only useful bytes into cache lines, so both L1 and L2
+misses collapse (~16x fewer at 4-byte columns in 64-byte rows) while the
+demand request count stays equal (the query loads the same elements).
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import fig07_cache_stats, render_figure
+
+
+def bench_fig07_cache_stats(benchmark):
+    fig = run_once(benchmark, fig07_cache_stats, n_rows=max(N_ROWS, 2048))
+    print()
+    print(render_figure(fig))
+
+    direct = dict(zip(fig.xs, fig.series["Direct"]))
+    rme = dict(zip(fig.xs, fig.series["RME (MLP)"]))
+    assert direct["L1 requests"] == rme["L1 requests"]
+    assert rme["L1 misses"] * 8 < direct["L1 misses"]
+    assert rme["L2 misses"] * 8 < direct["L2 misses"]
+    assert rme["L2 requests"] >= rme["L2 misses"]

@@ -1,0 +1,35 @@
+"""Figure 8 — the column-offset sweep (sum over a 4-byte column).
+
+Offsets 0..60 of a 64-byte row. Cold RME runs spike exactly where the
+4 target bytes straddle a 16-byte bus beat — offsets 13-15, 29-31 and
+45-47 — because the Requestor emits burst-length-2 descriptors (Eq. 3).
+Direct accesses and hot RME runs are flat.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import fig08_offset_sweep, render_figure
+
+SPIKES = [13, 14, 15, 29, 30, 31, 45, 46, 47]
+
+
+def bench_fig08_offset(benchmark):
+    n_rows = max(128, N_ROWS // 4)  # 61 offsets x 7 series: keep points lean
+    fig = run_once(benchmark, fig08_offset_sweep, n_rows=n_rows)
+    print()
+    print(render_figure(fig))
+
+    for series_name in ("BSL cold", "PCK cold", "MLP cold"):
+        cold = dict(zip(fig.xs, fig.series[series_name]))
+        flat = [cold[o] for o in fig.xs if o % 16 <= 12]
+        base = min(flat)
+        assert max(flat) < base * 1.05, f"{series_name} not flat off-spike"
+        for spike in SPIKES:
+            assert cold[spike] > base * 1.01, (
+                f"{series_name} missing spike at offset {spike}"
+            )
+    direct = fig.series["Direct"]
+    assert max(direct) < min(direct) * 1.05, "direct access must be offset-blind"
+    for series_name in ("BSL hot", "PCK hot", "MLP hot"):
+        hot = fig.series[series_name]
+        assert max(hot) < min(hot) * 1.05, f"{series_name} must be offset-blind"

@@ -1,0 +1,36 @@
+"""Figure 9 — projection queries (Q2, Q3) vs. column width on 64 B rows.
+
+The RME wins in cold and hot states except at 16-byte columns, where the
+2-column group spans 32 bytes (half a cache line) and the PL-routing
+overhead cancels the cache-efficiency gain.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import fig09_projection_colsize, render_figure
+
+
+def bench_fig09_projection_colsize(benchmark):
+    fig = run_once(benchmark, fig09_projection_colsize, n_rows=N_ROWS)
+    print()
+    print(render_figure(fig))
+
+    for query in ("Q2", "Q3"):
+        ratios = dict(zip(fig.xs, fig.ratio(f"{query} RME cold", f"{query} Direct")))
+        for width in fig.xs:
+            if width <= 8:
+                assert ratios[width] < 1.0, (
+                    f"{query} RME cold should win at width {width}"
+                )
+        assert 0.8 < ratios[16] < 1.35, (
+            f"{query}: 16B columns should roughly cancel out, got {ratios[16]:.2f}"
+        )
+        hot = fig.series[f"{query} RME hot"]
+        direct = fig.series[f"{query} Direct"]
+        assert all(h < d for h, d in zip(hot, direct))
+
+
+def bench_fig09_querying_time_grows_with_width(benchmark):
+    fig = run_once(benchmark, fig09_projection_colsize, n_rows=N_ROWS // 2)
+    cold = fig.series["Q3 RME cold"]
+    assert cold[-1] > cold[0], "querying time must grow with the column size"

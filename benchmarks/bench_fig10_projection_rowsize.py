@@ -1,0 +1,27 @@
+"""Figure 10 — projection queries (Q2, Q3) vs. row size with 4 B columns.
+
+As rows grow the projectivity falls, direct accesses pollute the caches
+(and defeat the sequential prefetcher past one line per row), and the
+RME's advantage grows — the paper reports up to 3.2x at 128-byte rows.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import fig10_projection_rowsize, render_figure
+
+
+def bench_fig10_projection_rowsize(benchmark):
+    fig = run_once(benchmark, fig10_projection_rowsize, n_rows=N_ROWS)
+    print()
+    print(render_figure(fig))
+
+    for query in ("Q2", "Q3"):
+        gains = [d / c for d, c in zip(fig.series[f"{query} Direct"],
+                                       fig.series[f"{query} RME cold"])]
+        assert gains == sorted(gains), f"{query} gain must grow with row size"
+        assert 2.5 < gains[-1] < 4.5, (
+            f"{query}: expected ~3.2x at 128B rows, got {gains[-1]:.2f}x"
+        )
+        # RME latency itself stays nearly constant: it reads only the group.
+        cold = fig.series[f"{query} RME cold"]
+        assert max(cold) < min(cold) * 1.25

@@ -1,0 +1,29 @@
+"""Figure 11 — aggregation queries (Q4, Q5, Q6) vs. column width.
+
+The RME outperforms direct row accesses for all three aggregations since
+it moves only useful data; the benefit varies with the query's projected
+group (1, 2 or 3 columns).
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import fig11_agg_colsize, render_figure
+
+
+def bench_fig11_agg_colsize(benchmark):
+    fig = run_once(benchmark, fig11_agg_colsize, n_rows=N_ROWS)
+    print()
+    print(render_figure(fig))
+
+    for query in ("Q4", "Q5", "Q6"):
+        ratios = dict(zip(fig.xs, fig.ratio(f"{query} RME cold", f"{query} Direct")))
+        for width in fig.xs:
+            group_cols = {"Q4": 1, "Q5": 2, "Q6": 3}[query]
+            if width * group_cols <= 16:
+                assert ratios[width] < 1.0, (
+                    f"{query} should win at width {width} "
+                    f"(group {width * group_cols}B), got {ratios[width]:.2f}"
+                )
+        hot = fig.series[f"{query} RME hot"]
+        direct = fig.series[f"{query} Direct"]
+        assert all(h < d for h, d in zip(hot, direct))

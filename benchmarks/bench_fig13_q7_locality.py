@@ -1,0 +1,35 @@
+"""Figure 13 — Q7 (standard deviation, two passes) exploits locality.
+
+The paper reports ~15% improvement at the default geometry and a ~60%
+latency drop at large row sizes: the second pass streams the packed
+column out of the reorganization buffer while the direct route pays the
+cache pollution twice.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench import fig13_q7_locality, render_figure
+
+
+def bench_fig13_q7_row_sweep(benchmark):
+    fig = run_once(benchmark, fig13_q7_locality, n_rows=N_ROWS, sweep="row")
+    print()
+    print(render_figure(fig))
+
+    ratios = dict(zip(fig.xs, fig.ratio("RME cold", "Direct")))
+    assert ratios[64] < 1.0, "RME should win at the default geometry"
+    assert ratios[128] < 0.45, "latency should drop ~60% at large rows"
+    values = [ratios[x] for x in fig.xs]
+    assert values[-1] == min(values)
+
+
+def bench_fig13_q7_col_sweep(benchmark):
+    fig = run_once(benchmark, fig13_q7_locality, n_rows=N_ROWS, sweep="col")
+    print()
+    print(render_figure(fig))
+
+    ratios = fig.ratio("RME cold", "Direct")
+    assert ratios[0] < 1.0
+    hot = fig.series["RME hot"]
+    direct = fig.series["Direct"]
+    assert all(h < d for h, d in zip(hot, direct))

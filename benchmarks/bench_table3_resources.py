@@ -1,0 +1,44 @@
+"""Table 3 — post-implementation PL resource, timing and power report.
+
+The estimator regenerates the structure of the paper's Vivado 2017.4
+report for the MLP design on the ZCU102: BRAM deliberately maxed out
+(~60%), logic below 3%, two DSP slices for the address generation,
+timing met at 100 MHz with sub-nanosecond slack.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.bench import table3_resources
+from repro.bench.report import render_table
+
+PAPER_MLP = {
+    "LUT (%)": 2.78,
+    "FF (%)": 0.68,
+    "BRAM (%)": 60.69,
+    "DSP (%)": 0.08,
+    "WNS (ns)": 0.818,
+    "Static power (W)": 0.733,
+    "Dynamic power (W)": 3.599,
+}
+
+
+def bench_table3_resources(benchmark):
+    reports = run_once(benchmark, table3_resources)
+    labels = [label for label, _ in reports["MLP"].rows()]
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append([label, PAPER_MLP[label]]
+                    + [reports[name].rows()[i][1] for name in reports])
+    print()
+    print(render_table(["metric", "paper (MLP)"] + list(reports), rows))
+
+    mlp = dict(reports["MLP"].rows())
+    assert mlp["LUT (%)"] == pytest.approx(PAPER_MLP["LUT (%)"], abs=0.3)
+    assert mlp["FF (%)"] == pytest.approx(PAPER_MLP["FF (%)"], abs=0.1)
+    assert mlp["BRAM (%)"] == pytest.approx(PAPER_MLP["BRAM (%)"], abs=2.0)
+    assert mlp["DSP (%)"] == pytest.approx(PAPER_MLP["DSP (%)"], abs=0.02)
+    assert mlp["WNS (ns)"] == pytest.approx(PAPER_MLP["WNS (ns)"], abs=0.1)
+    assert mlp["Static power (W)"] == pytest.approx(0.733, abs=0.01)
+    assert mlp["Dynamic power (W)"] == pytest.approx(3.599, abs=0.2)

@@ -1,0 +1,23 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark runs one figure driver exactly once (``pedantic`` with one
+round — the drivers are deterministic simulations, not noisy wall-clock
+measurements), prints the reproduced series as a table, and asserts the
+paper's shape claims.
+
+``REPRO_BENCH_ROWS`` scales every experiment's row count (default 2048;
+the paper's projections are up to 2 MB — raise this to approach them at
+the cost of simulation time).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Rows per experiment point.
+N_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "2048"))
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run a figure driver once under pytest-benchmark."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

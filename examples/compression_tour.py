@@ -1,0 +1,106 @@
+"""Compression tour — Section 4's encodings on RME-projectable columns.
+
+Dictionary and delta (frame-of-reference) encodings keep columns
+fixed-width, so they can live inside the row-store and be projected by
+the RME like any other column group — and a narrower encoded column makes
+the projected group smaller, which directly speeds the scan up. RLE
+compresses better on sorted data but breaks fixed-width addressing (the
+paper's reason it is "less frequently applicable").
+
+The script encodes a low-cardinality 8-byte column down to 1 byte,
+stores both versions in row-stores, and times the same aggregate through
+the RME on each.
+
+Run:  python examples/compression_tour.py
+"""
+
+import random
+
+from repro import (
+    Col,
+    Column,
+    Query,
+    QueryExecutor,
+    RelationalMemorySystem,
+    RowTable,
+    Schema,
+    int64,
+)
+from repro.bench.report import render_table
+from repro.storage.compression import delta_encode, dictionary_encode, rle_encode
+from repro.storage.schema import intn
+
+N_ROWS = 4096
+
+
+def main() -> None:
+    rng = random.Random(3)
+    # A low-cardinality dimension column (say, 12 product categories) plus
+    # a monotonically increasing timestamp-like column.
+    categories = [rng.randint(0, 11) for _ in range(N_ROWS)]
+    timestamps = [1_700_000_000 + i * rng.randint(1, 5) for i in range(N_ROWS)]
+
+    # --- encodings, sizes ---------------------------------------------------
+    dict_enc = dictionary_encode(categories, value_size=8)
+    delta_enc = delta_encode(timestamps, value_size=8, frame_size=128)
+    rle_sorted = rle_encode(sorted(categories), value_size=8)
+    rle_raw = rle_encode(categories, value_size=8)
+
+    print(render_table(
+        ["encoding", "plain B", "encoded B", "ratio"],
+        [
+            ["dictionary (12 distinct)", dict_enc.plain_bytes,
+             dict_enc.encoded_bytes, round(dict_enc.ratio, 2)],
+            ["delta / FOR (timestamps)", delta_enc.plain_bytes,
+             delta_enc.encoded_bytes, round(delta_enc.ratio, 2)],
+            ["RLE on sorted data", rle_sorted.plain_bytes,
+             rle_sorted.encoded_bytes, round(rle_sorted.ratio, 2)],
+            ["RLE on unsorted data", rle_raw.plain_bytes,
+             rle_raw.encoded_bytes, round(rle_raw.ratio, 2)],
+        ],
+    ))
+    assert dict_enc.decode() == categories
+    assert delta_enc.decode() == timestamps
+
+    # --- the co-design payoff: scan the encoded column through the RME -------
+    plain_schema = Schema([Column("cat", int64()), Column("pad", int64()),
+                           Column("other", int64())] +
+                          [Column(f"f{i}", int64()) for i in range(5)])
+    plain = RowTable("plain", plain_schema)
+    for c in categories:
+        plain.append([c, 0, 0, 0, 0, 0, 0, 0])
+
+    code_type = intn(dict_enc.code_width)
+    encoded_schema = Schema([Column("cat_code", code_type), Column("pad", int64()),
+                             Column("other", int64())] +
+                            [Column(f"f{i}", int64()) for i in range(5)])
+    encoded = RowTable("encoded", encoded_schema)
+    for code in dict_enc.codes:
+        encoded.append([code, 0, 0, 0, 0, 0, 0, 0])
+
+    def count_query(col: str) -> Query:
+        return Query(name="hot_cat", sql=f"SELECT SUM({col}) FROM t",
+                     select=(), aggregate="sum", agg_expr=Col(col))
+
+    rows = []
+    for label, table, col in (("plain 8B column", plain, "cat"),
+                              ("dictionary 1B codes", encoded, "cat_code")):
+        system = RelationalMemorySystem()
+        loaded = system.load_table(table)
+        var = system.register_var(loaded, [col])
+        executor = QueryExecutor(system)
+        cold = executor.run_rme(count_query(col), var)
+        hot = executor.run_rme(count_query(col), var)
+        rows.append([label, var.config.col_width,
+                     round(cold.elapsed_ns), round(hot.elapsed_ns)])
+
+    print()
+    print(render_table(
+        ["stored column", "group width B", "RME cold ns", "RME hot ns"], rows
+    ))
+    print("\nNarrow dictionary codes shrink the projected group, so the "
+          "same aggregate moves 8x less data through the engine.")
+
+
+if __name__ == "__main__":
+    main()

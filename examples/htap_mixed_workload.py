@@ -1,0 +1,129 @@
+"""HTAP mixed workload — MVCC transactions under analytical scans.
+
+Section 4 of the paper: the base data stays row-oriented and writable
+(new versions are appended, validity is tracked with begin/end
+timestamps), while ephemeral variables give analytics a packed columnar
+view of exactly the rows valid at the query's snapshot — no fractured
+mirrors, no background conversion pipeline.
+
+The script runs an order-processing workload:
+  * OLTP side: inserts, balance updates, a write-write conflict;
+  * OLAP side: revenue aggregation through an ephemeral variable, at
+    a historical snapshot and at "now", with timing vs. the row scan.
+
+Run:  python examples/htap_mixed_workload.py
+"""
+
+import random
+
+from repro import (
+    Col,
+    Column,
+    Query,
+    QueryExecutor,
+    RelationalMemorySystem,
+    Schema,
+    TransactionManager,
+    VersionedRowTable,
+    WriteConflictError,
+    int64,
+)
+from repro.bench.report import render_table
+
+
+def build_orders() -> tuple:
+    schema = Schema([
+        Column("order_id", int64()),
+        Column("customer", int64()),
+        Column("amount", int64()),
+        Column("status", int64()),   # 0 = open, 1 = shipped
+    ])
+    table = VersionedRowTable("orders", schema)
+    manager = TransactionManager(table)
+    rng = random.Random(11)
+    for order_id in range(2000):
+        manager.insert([order_id, rng.randint(0, 99), rng.randint(5, 500), 0])
+    return table, manager
+
+
+def revenue_query() -> Query:
+    return Query(
+        name="revenue",
+        sql="SELECT SUM(amount) FROM orders WHERE status = 0",
+        select=(),
+        aggregate="sum",
+        agg_expr=Col("amount"),
+        predicate=Col("status").eq(0),
+    )
+
+
+def main() -> None:
+    table, manager = build_orders()
+    ts_loaded = manager.now_ts
+    print(f"{table.live_count()} live orders, {table.n_versions} versions, "
+          f"logical time {ts_loaded}")
+
+    # --- OLTP traffic: updates append versions ------------------------------
+    for order_id in range(0, 500):
+        row = list(table.snapshot_values(manager.now_ts)[0])  # template
+        manager.update(order_id, [order_id, row[1], row[2], 1])  # ship it
+    print(f"shipped 500 orders -> {table.n_versions} physical versions")
+
+    # A write-write conflict: first committer wins, the other aborts cleanly.
+    t1 = manager.begin()
+    t2 = manager.begin()
+    t1.update(600, [600, 0, 999, 0])
+    t2.update(600, [600, 0, 111, 0])
+    t1.commit()
+    try:
+        t2.commit()
+    except WriteConflictError as exc:
+        print(f"conflict detected as designed: {exc}")
+
+    # --- OLAP side: load the versioned base data and project it -------------
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table, manager=manager)
+    executor = QueryExecutor(system)
+    query = revenue_query()
+
+    # The ephemeral variable regenerates only the versions valid *now*.
+    live_view = system.register_var(loaded, ["amount", "status"])
+    now = executor.run_rme(query, live_view)
+
+    # A second variable pinned at the load-time snapshot: time travel.
+    old_view = system.register_var(
+        loaded, ["amount", "status"], snapshot_ts=ts_loaded, activate=False
+    )
+    open_then = sum(a for a, s in old_view.values() if s == 0)
+    open_now = now.value
+
+    direct = executor.run_direct(query, loaded)
+    hot = executor.run_rme(query, live_view)
+
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["open revenue at load snapshot", open_then],
+            ["open revenue now (RME)", open_now],
+            ["open revenue now (direct scan)", direct.value],
+        ],
+    ))
+    assert direct.value == now.value
+    assert open_then > open_now  # shipped orders left the predicate
+
+    print()
+    print(render_table(
+        ["analytics path", "simulated ns"],
+        [
+            ["direct row scan (all versions)", round(direct.elapsed_ns)],
+            ["RME cold", round(now.elapsed_ns)],
+            ["RME hot", round(hot.elapsed_ns)],
+        ],
+    ))
+    print("\nAnalytics ran against a consistent snapshot while transactions "
+          "kept appending versions to the same row-store.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Operator pushdown — selection and aggregation inside the engine.
+
+The paper's projection hardware "lays the groundwork for other relational
+operators (selection, aggregation, group by, join pre-processing)". This
+example builds Q5 (``SELECT SUM(A2) FROM S WHERE A1 < k``) four ways and
+shows the data-movement collapse at each step of the ladder:
+
+1. direct row scan                (moves whole rows)
+2. RME projection, CPU filters    (moves the 2-column group)
+3. RME + PL selection             (moves only matching rows)
+4. RME + PL aggregation           (moves one register line)
+
+Run:  python examples/operator_pushdown.py
+"""
+
+from repro import (
+    Col,
+    Query,
+    QueryExecutor,
+    RelationalMemorySystem,
+)
+from repro.bench.report import render_table
+from repro.bench.workloads import make_relation
+
+N_ROWS = 4096
+K = -500_000  # selects about a quarter of the rows
+
+
+def main() -> None:
+    table = make_relation(N_ROWS)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    executor = QueryExecutor(system)
+    query = Query(
+        name="q5", sql=f"SELECT SUM(A2) FROM S WHERE A1 < {K}",
+        select=(), aggregate="sum", agg_expr=Col("A2"),
+        predicate=Col("A1") < K,
+    )
+
+    direct = executor.run_direct(query, loaded)
+
+    view = system.register_var(loaded, ["A1", "A2"])
+    system.warm_up(view)
+    system.flush_caches()
+    projected = executor.run_rme(query, view)
+
+    fview = system.register_filtered_var(loaded, ["A1", "A2"], "A1", "<", K)
+    system.warm_up(fview)
+    system.flush_caches()
+    selected = executor.run_rme_pushdown(query, fview)
+
+    agg = system.register_hw_aggregate(loaded, "A2", "sum",
+                                       predicate_column="A1", op="<", constant=K)
+    system.warm_up(agg)
+    system.flush_caches()
+    aggregated = executor.run_rme_hw_aggregate(agg)
+
+    assert direct.value == projected.value == selected.value == aggregated.value
+    print(f"{query.sql}\nanswer {direct.value}, "
+          f"selectivity {direct.selectivity:.1%}, {N_ROWS} rows\n")
+
+    bytes_per_row = 64
+    group = 8
+    match = direct.selectivity * group
+    rows = [
+        ["1. direct rows", direct.elapsed_ns, bytes_per_row * N_ROWS],
+        ["2. PL projection (hot)", projected.elapsed_ns, group * N_ROWS],
+        ["3. + PL selection (hot)", selected.elapsed_ns, round(match * N_ROWS)],
+        ["4. + PL aggregation (hot)", aggregated.elapsed_ns, 64],
+    ]
+    print(render_table(
+        ["strategy", "simulated ns", "bytes toward CPU"], rows,
+    ))
+    print("\nEach operator pushed into the engine removes another slice of "
+          "data movement; the aggregate finally travels as one cache line.")
+
+
+if __name__ == "__main__":
+    main()

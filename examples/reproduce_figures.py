@@ -1,0 +1,66 @@
+"""Reproduce every table and figure of the paper's evaluation in one run.
+
+Prints the series behind Figures 1 and 6-13 plus Table 3, at a reduced
+row count so the whole sweep finishes in a couple of minutes. The
+benchmark harness under ``benchmarks/`` runs the same drivers with shape
+assertions; this script is the human-readable tour.
+
+Run:  python examples/reproduce_figures.py [n_rows]
+"""
+
+import sys
+import time
+
+from repro.bench import (
+    fig01_projectivity,
+    fig06_q1_designs,
+    fig07_cache_stats,
+    fig08_offset_sweep,
+    fig09_projection_colsize,
+    fig10_projection_rowsize,
+    fig11_agg_colsize,
+    fig12_agg_rowsize,
+    fig13_q7_locality,
+    render_figure,
+    table3_resources,
+)
+from repro.bench.report import render_table
+
+
+def main() -> None:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    offsets = list(range(0, 61, 1))
+
+    jobs = [
+        ("Figure 1", lambda: render_figure(fig01_projectivity())),
+        ("Figure 6", lambda: render_figure(
+            fig06_q1_designs(n_rows=n_rows), normalized_to="Direct")),
+        ("Figure 7", lambda: render_figure(fig07_cache_stats(n_rows=2 * n_rows))),
+        ("Figure 8", lambda: render_figure(
+            fig08_offset_sweep(n_rows=max(128, n_rows // 4), offsets=offsets))),
+        ("Figure 9", lambda: render_figure(fig09_projection_colsize(n_rows=n_rows))),
+        ("Figure 10", lambda: render_figure(fig10_projection_rowsize(n_rows=n_rows))),
+        ("Figure 11", lambda: render_figure(fig11_agg_colsize(n_rows=n_rows))),
+        ("Figure 12", lambda: render_figure(fig12_agg_rowsize(n_rows=n_rows))),
+        ("Figure 13a", lambda: render_figure(
+            fig13_q7_locality(n_rows=n_rows, sweep="col"))),
+        ("Figure 13b", lambda: render_figure(
+            fig13_q7_locality(n_rows=n_rows, sweep="row"))),
+    ]
+    for label, job in jobs:
+        start = time.time()
+        text = job()
+        print(f"\n{'=' * 72}\n{text}")
+        print(f"[{label} regenerated in {time.time() - start:.1f}s]")
+
+    reports = table3_resources()
+    labels = [row_label for row_label, _ in reports["MLP"].rows()]
+    rows = [[label] + [reports[name].rows()[i][1] for name in reports]
+            for i, label in enumerate(labels)]
+    print(f"\n{'=' * 72}")
+    print("Table 3: post-implementation estimates per design revision")
+    print(render_table(["metric"] + list(reports), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for environments without the `wheel` package (offline legacy
+editable installs via `python setup.py develop`). Configuration lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""HTAP architecture baselines the paper positions against.
+
+Section 4 frames Relational Memory as "fractured mirrors without the
+mirrors" and the introduction criticises conversion-based HTAP pipelines
+("maintaining multiple copies of data in different formats or converting
+data between different layouts"). These baselines make both concrete so
+the trade-offs — write amplification, storage overhead, analytics
+freshness — can be measured instead of asserted:
+
+* :class:`FracturedMirrors` — row + column copies kept in sync on every
+  write (Ramamurthy et al.);
+* :class:`DeltaConvertHTAP` — rows ingest into a delta store and a
+  background job converts batches into the columnar store (the SAP
+  HANA / TimesTen-style pipeline); analytics see only converted data.
+"""
+
+from .htap import DeltaConvertHTAP, FracturedMirrors, HTAPCosts
+
+__all__ = ["DeltaConvertHTAP", "FracturedMirrors", "HTAPCosts"]

@@ -1,0 +1,45 @@
+"""The benchmark harness: workloads, the experiment runner, and one driver
+per table/figure of the paper's evaluation (Section 6).
+
+Each figure driver in :mod:`repro.bench.figures` rebuilds the paper's
+experiment — same queries, same geometry sweeps, scaled row counts so the
+pure-Python simulator stays fast — and returns a :class:`FigureResult`
+whose series mirror the lines/bars of the original plot.
+:mod:`repro.bench.report` renders results as aligned text tables.
+"""
+
+from .figures import (
+    fig01_projectivity,
+    fig06_q1_designs,
+    fig07_cache_stats,
+    fig08_offset_sweep,
+    fig09_projection_colsize,
+    fig10_projection_rowsize,
+    fig11_agg_colsize,
+    fig12_agg_rowsize,
+    fig13_q7_locality,
+    table3_resources,
+)
+from .runner import ExperimentRunner, FigureResult, PathTimes
+from .report import render_figure, render_table
+from .workloads import make_listing1_table, make_relation
+
+__all__ = [
+    "ExperimentRunner",
+    "FigureResult",
+    "PathTimes",
+    "fig01_projectivity",
+    "fig06_q1_designs",
+    "fig07_cache_stats",
+    "fig08_offset_sweep",
+    "fig09_projection_colsize",
+    "fig10_projection_rowsize",
+    "fig11_agg_colsize",
+    "fig12_agg_rowsize",
+    "fig13_q7_locality",
+    "table3_resources",
+    "make_listing1_table",
+    "make_relation",
+    "render_figure",
+    "render_table",
+]

@@ -1,0 +1,60 @@
+"""Plain-text rendering of reproduced figures and tables.
+
+The harness prints the same rows/series the paper plots; these helpers
+format them as aligned monospace tables (and CSV for downstream tooling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .runner import FigureResult
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """An aligned monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(values):
+        return "  ".join(str(v).rjust(w) for v, w in zip(values, widths))
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_figure(result: FigureResult, normalized_to: str = "") -> str:
+    """Render a FigureResult: one row per x value, one column per series."""
+    fig = result.normalized(normalized_to) if normalized_to else result
+    headers = [fig.x_label] + list(fig.series)
+    rows: List[List] = []
+    for i, x in enumerate(fig.xs):
+        rows.append([x] + [fig.series[name][i] for name in fig.series])
+    title = f"{fig.fig_id}: {fig.title}   [{fig.y_label}]"
+    body = render_table(headers, rows)
+    notes = f"\nnote: {fig.notes}" if fig.notes else ""
+    return f"{title}\n{body}{notes}"
+
+
+def to_csv(result: FigureResult) -> str:
+    """The figure's series as CSV (header row + one row per x)."""
+    headers = [result.x_label] + list(result.series)
+    lines = [",".join(headers)]
+    for i, x in enumerate(result.xs):
+        row = [str(x)] + [repr(result.series[name][i]) for name in result.series]
+        lines.append(",".join(row))
+    return "\n".join(lines)

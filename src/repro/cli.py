@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the common workflows without writing Python:
+
+* ``figures`` — regenerate the paper's figures/tables (all or a subset);
+* ``query`` — run an ad-hoc SQL query over a generated benchmark relation
+  on every access path and compare;
+* ``resources`` — print the Table-3 style FPGA estimate for a design;
+* ``info`` — dump the simulated platform configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import __version__
+from .bench import extensions as extension_drivers
+from .bench import figures as figure_drivers
+from .bench.report import render_figure, render_table
+from .bench.workloads import make_relation
+from .config import ZCU102
+from .core.relmem import RelationalMemorySystem
+from .errors import ReproError
+from .query.executor import QueryExecutor
+from .query.sql import parse_query
+from .rme.designs import ALL_DESIGNS, design_by_name
+from .rme.resources import estimate_resources
+
+#: figure name -> (driver kwargs builder, normalizer)
+_FIGURES: Dict[str, Callable] = {
+    "fig01": lambda rows: figure_drivers.fig01_projectivity(),
+    "fig06": lambda rows: figure_drivers.fig06_q1_designs(n_rows=rows),
+    "fig07": lambda rows: figure_drivers.fig07_cache_stats(n_rows=2 * rows),
+    "fig08": lambda rows: figure_drivers.fig08_offset_sweep(n_rows=max(128, rows // 4)),
+    "fig09": lambda rows: figure_drivers.fig09_projection_colsize(n_rows=rows),
+    "fig10": lambda rows: figure_drivers.fig10_projection_rowsize(n_rows=rows),
+    "fig11": lambda rows: figure_drivers.fig11_agg_colsize(n_rows=rows),
+    "fig12": lambda rows: figure_drivers.fig12_agg_rowsize(n_rows=rows),
+    "fig13a": lambda rows: figure_drivers.fig13_q7_locality(n_rows=rows, sweep="col"),
+    "fig13b": lambda rows: figure_drivers.fig13_q7_locality(n_rows=rows, sweep="row"),
+    # Extension studies (DESIGN.md section 8).
+    "ext-capacity": lambda rows: extension_drivers.ext_capacity_cliff(n_rows=rows),
+    "ext-pushdown": lambda rows: extension_drivers.ext_pushdown_ladder(n_rows=rows),
+    "ext-hybrid": lambda rows: extension_drivers.ext_hybrid_crossover(n_rows=rows),
+    "ext-isolation": lambda rows: extension_drivers.ext_isolation(n_rows=rows),
+    "ext-multirun": lambda rows: extension_drivers.ext_noncontiguous_tradeoff(n_rows=rows),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Relational Memory (EDBT 2023) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command")
+
+    figures = commands.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument(
+        "names", nargs="*",
+        help=f"figures to run (default: all of {', '.join(_FIGURES)})",
+    )
+    figures.add_argument("--rows", type=int, default=1024,
+                         help="rows per experiment point (default 1024)")
+    figures.add_argument("--csv", metavar="DIR", default=None,
+                         help="also write each figure's series as CSV into DIR")
+
+    query = commands.add_parser("query", help="run an ad-hoc SQL query")
+    query.add_argument("sql", help='e.g. "SELECT SUM(A1) FROM S WHERE A2 > 0"')
+    query.add_argument("--rows", type=int, default=2048,
+                       help="rows in the generated relation S (default 2048)")
+    query.add_argument("--cols", type=int, default=16,
+                       help="columns in S (default 16)")
+    query.add_argument("--width", type=int, default=4,
+                       help="bytes per column (default 4)")
+    query.add_argument("--seed", type=int, default=42)
+
+    resources = commands.add_parser("resources", help="Table-3 style estimate")
+    resources.add_argument("--design", default="MLP",
+                           help="BSL, PCK or MLP (default MLP)")
+
+    commands.add_parser("info", help="print the platform configuration")
+    return parser
+
+
+def _cmd_figures(args, out) -> int:
+    import pathlib
+
+    from .bench.report import to_csv
+
+    names = args.names or list(_FIGURES)
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)} "
+              f"(choose from {', '.join(_FIGURES)})", file=out)
+        return 2
+    csv_dir = None
+    if args.csv is not None:
+        csv_dir = pathlib.Path(args.csv)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        result = _FIGURES[name](args.rows)
+        normalize = "Direct" if name == "fig06" else ""
+        print(render_figure(result, normalized_to=normalize), file=out)
+        print(file=out)
+        if csv_dir is not None:
+            path = csv_dir / f"{name}.csv"
+            path.write_text(to_csv(result) + "\n")
+            print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    query = parse_query(args.sql)
+    table = make_relation(args.rows, n_cols=args.cols, col_width=args.width,
+                          seed=args.seed)
+    missing = [c for c in query.columns() if c not in table.schema]
+    if missing:
+        print(f"query references {missing}, but S has columns "
+              f"A1..A{args.cols}", file=out)
+        return 2
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    executor = QueryExecutor(system)
+
+    direct = executor.run_direct(query, loaded)
+    columnar = executor.run_columnar(
+        query, loaded,
+        system.load_column_group(table, table.schema.covering_columns(query.columns())),
+    )
+    var = system.register_var(
+        loaded, query.columns(), allow_noncontiguous=True
+    )
+    cold = executor.run_rme(query, var)
+    hot = executor.run_rme(query, var)
+
+    print(f"answer: {_short(direct.value)}", file=out)
+    print(f"selectivity: {direct.selectivity:.1%}  rows: {direct.rows_scanned}",
+          file=out)
+    rows = [
+        ["direct (row-store)", round(direct.elapsed_ns), 1.0],
+        ["columnar copy", round(columnar.elapsed_ns),
+         columnar.elapsed_ns / direct.elapsed_ns],
+        ["RME cold", round(cold.elapsed_ns), cold.elapsed_ns / direct.elapsed_ns],
+        ["RME hot", round(hot.elapsed_ns), hot.elapsed_ns / direct.elapsed_ns],
+    ]
+    print(render_table(["access path", "simulated ns", "vs direct"], rows),
+          file=out)
+    return 0
+
+
+def _short(value) -> str:
+    text = repr(value)
+    return text if len(text) <= 200 else text[:200] + "..."
+
+
+def _cmd_resources(args, out) -> int:
+    design = design_by_name(args.design)
+    report = estimate_resources(design)
+    print(f"{design.name} on the ZCU102 (XCZU9EG) at {report.freq_mhz:g} MHz:",
+          file=out)
+    print(render_table(["metric", "value"], report.rows()), file=out)
+    return 0
+
+
+def _cmd_info(_args, out) -> int:
+    p = ZCU102
+    rows = [
+        ["CPUs", f"{p.n_cpus} x Cortex-A53 @ {p.ps_freq_mhz:g} MHz"],
+        ["L1-D / L2", f"{p.l1.size // 1024} KB / {p.l2.size // 1024} KB"],
+        ["cache line", f"{p.cache_line} B"],
+        ["PL clock", f"{p.pl_freq_mhz:g} MHz (max {p.pl_max_freq_mhz:g})"],
+        ["PL BRAM", f"{p.bram_bytes / (1024 * 1024):.1f} MB"],
+        ["AXI bus", f"{p.axi_bus_bytes} B/beat"],
+        ["DRAM", f"{p.dram.n_banks} banks, {p.dram.row_buffer_bytes} B rows, "
+                 f"{p.dram.bus_bytes} B beats @ {p.dram.t_beat:g} ns"],
+        ["designs", ", ".join(d.name for d in ALL_DESIGNS)],
+    ]
+    print(render_table(["parameter", "value"], rows), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """The console entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(file=out)
+        return 2
+    handler = {
+        "figures": _cmd_figures,
+        "query": _cmd_query,
+        "resources": _cmd_resources,
+        "info": _cmd_info,
+    }[args.command]
+    try:
+        return handler(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1

@@ -1,0 +1,35 @@
+"""The Relational Memory public API.
+
+:class:`RelationalMemorySystem` assembles the whole platform (CPU-side
+hierarchy, DRAM, RME) and loads relations into simulated memory;
+:func:`register_var` / :meth:`RelationalMemorySystem.register_var` creates
+*ephemeral variables* — the paper's lightweight abstraction (Listings 2
+and 4) that exposes any contiguous column group of a row-store as if a
+packed array of it existed in memory.
+"""
+
+from .access_path import AccessPath
+from .ephemeral import (
+    EphemeralVariable,
+    FilteredEphemeralVariable,
+    HWAggregateVariable,
+    HWGroupByVariable,
+)
+from .relmem import (
+    LoadedColumnGroup,
+    LoadedIndex,
+    LoadedTable,
+    RelationalMemorySystem,
+)
+
+__all__ = [
+    "AccessPath",
+    "EphemeralVariable",
+    "FilteredEphemeralVariable",
+    "HWAggregateVariable",
+    "HWGroupByVariable",
+    "LoadedColumnGroup",
+    "LoadedIndex",
+    "LoadedTable",
+    "RelationalMemorySystem",
+]

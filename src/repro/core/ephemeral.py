@@ -1,0 +1,289 @@
+"""Ephemeral variables — the paper's software/hardware interface.
+
+An ephemeral variable (Listings 2 and 4) is a pointer-like object over a
+*contiguous column group* of a loaded row table. It has an address range
+(the PL alias region) that never corresponds to main-memory data: CPU
+accesses to it are trapped by the RME, which projects the group out of
+the row-store on the fly.
+
+The object carries both faces of the co-design:
+
+* the **functional** face — ``values()``, ``__getitem__``, ``length`` —
+  returns the actual tuples, applying MVCC visibility when the underlying
+  table is versioned (Section 4);
+* the **timing** face — ``scan_segment()`` — describes the packed access
+  pattern the CPU performs, which the simulator prices through the
+  Trapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..config import RMEConfig
+from ..errors import QueryError
+from ..memsys.cpu import ScanSegment
+from ..memsys.memmap import Region
+from ..storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .relmem import LoadedTable, RelationalMemorySystem
+
+
+class EphemeralVariable:
+    """A packed, never-materialised view of a column group."""
+
+    def __init__(
+        self,
+        system: "RelationalMemorySystem",
+        loaded: "LoadedTable",
+        columns: Sequence[str],
+        config: RMEConfig,
+        region: Region,
+        snapshot_ts: Optional[int] = None,
+        windowed: bool = False,
+        pushdown=None,
+    ):
+        #: Projection larger than the on-chip buffer, processed in windows.
+        self.windowed = windowed
+        #: Optional HWSelection/HWAggregation evaluated inside the engine.
+        self.pushdown = pushdown
+        self.system = system
+        self.loaded = loaded
+        self.columns = list(columns)
+        self.config = config
+        self.region = region
+        self.snapshot_ts = snapshot_ts
+        # Subset (not group) schema: multi-run views may have gaps in the
+        # base row; the packed view is dense either way.
+        self.group_schema: Schema = loaded.schema.subset_schema(columns)
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.region.name
+
+    @property
+    def base_addr(self) -> int:
+        return self.region.base
+
+    @property
+    def width(self) -> int:
+        """Bytes per packed element (the column-group width C_An)."""
+        return self.config.col_width
+
+    @property
+    def length(self) -> int:
+        """Number of rows in the view (the ``cg.length`` of Listing 4)."""
+        return self.config.row_count
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def is_hot(self) -> bool:
+        """True when this variable's projection sits in the buffer."""
+        return self.system.is_active(self) and self.system.rme.is_hot
+
+    # -- functional face ------------------------------------------------------------
+    def values(self) -> List[Tuple[Any, ...]]:
+        """Row-ordered tuples of the group's columns.
+
+        For a versioned table, only versions visible at the variable's
+        snapshot timestamp are returned — the paper's ephemeral variables
+        "generate the (group of) column(s) that contain the rows that are
+        valid at the time of the query".
+        """
+        raw = self.loaded.table.project_values(self.group_schema.names)
+        mask = self._visibility_mask()
+        if mask is None:
+            return raw
+        return [row for row, visible in zip(raw, mask) if visible]
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self.group_schema:
+            raise QueryError(
+                f"column {name!r} is outside ephemeral view {self.name!r} "
+                f"({self.group_schema.names})"
+            )
+        index = self.group_schema.index_of(name)
+        return [row[index] for row in self.values()]
+
+    def __getitem__(self, row_idx: int) -> Tuple[Any, ...]:
+        """Physical-slot indexing, like ``cg[i]`` in Listing 4."""
+        raw = self.loaded.table.project_values(self.group_schema.names)
+        return raw[row_idx]
+
+    def expected_packed_bytes(self) -> bytes:
+        """The byte-exact packed projection (software golden reference)."""
+        return self.loaded.table.project_bytes(self.group_schema.names)
+
+    def _visibility_mask(self) -> Optional[List[bool]]:
+        versioned = self.loaded.versioned
+        if versioned is None:
+            return None
+        ts = self.snapshot_ts
+        if ts is None:
+            ts = self.loaded.current_ts()
+        return versioned.visibility_mask(ts)
+
+    # -- timing face -------------------------------------------------------------------
+    def scan_segment(self, compute_ns: float = 0.0, passes: int = 1) -> List[ScanSegment]:
+        """The packed scan the CPU performs over this view."""
+        segment = ScanSegment(
+            start=self.region.base,
+            n_elems=self.length,
+            elem_size=self.width,
+            stride=self.width,
+            compute_ns=compute_ns,
+            name=f"scan:{self.name}",
+        )
+        return [segment] * passes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "hot" if self.is_hot else "cold"
+        return (
+            f"EphemeralVariable({self.name!r}, cols={self.columns}, "
+            f"{self.length}x{self.width}B, {state})"
+        )
+
+
+class FilteredEphemeralVariable(EphemeralVariable):
+    """An ephemeral view whose rows are selected *inside the engine*.
+
+    The PL comparator drops non-matching rows before they reach the
+    reorganization buffer, so the packed view contains only the rows
+    satisfying the hardware predicate — selection pushdown, the first
+    operator on the paper's groundwork list.
+    """
+
+    @property
+    def hw_selection(self):
+        return self.pushdown
+
+    def values(self) -> List[Tuple[Any, ...]]:
+        """Only the rows the hardware predicate keeps (after MVCC)."""
+        rows = super().values()
+        return [row for row in rows if self._row_matches(row)]
+
+    def _row_matches(self, row: Tuple[Any, ...]) -> bool:
+        packed = b"".join(
+            col.ctype.pack(value)
+            for col, value in zip(self.group_schema.columns, row)
+        )
+        return self.pushdown.matches(packed)
+
+    @property
+    def matched_length(self) -> int:
+        """Rows in the filtered view (the engine's count register)."""
+        return len(self.values())
+
+    def scan_segment(self, compute_ns: float = 0.0, passes: int = 1) -> List[ScanSegment]:
+        """The packed scan over *matching* rows only."""
+        segment = ScanSegment(
+            start=self.region.base,
+            n_elems=self.matched_length,
+            elem_size=self.width,
+            stride=self.width,
+            compute_ns=compute_ns,
+            name=f"scan:{self.name}:filtered",
+        )
+        return [segment] * passes
+
+
+class HWAggregateVariable(EphemeralVariable):
+    """A one-line ephemeral "register" holding a PL-computed aggregate.
+
+    Accessing it returns the aggregation result; the only memory traffic
+    toward the CPU is a single cache line, available once the engine's
+    fetch stream drains.
+    """
+
+    @property
+    def hw_aggregation(self):
+        return self.pushdown
+
+    def expected_result(self) -> int:
+        """The functional answer, computed from the stored values."""
+        matching = super().values()
+        agg = self.pushdown
+        kept = [
+            row for row in matching
+            if agg.predicate is None or self._row_passes(row, agg.predicate)
+        ]
+        if agg.func == "count":
+            return len(kept)
+        samples = [self._field_of(row, agg) for row in kept]
+        if not samples:
+            raise QueryError(f"PL {agg.func} aggregate saw no matching rows")
+        return {"sum": sum, "min": min, "max": max}[agg.func](samples)
+
+    def _row_passes(self, row, predicate) -> bool:
+        packed = self._pack_row(row)
+        return predicate.matches(packed)
+
+    def _field_of(self, row, agg) -> int:
+        packed = self._pack_row(row)
+        raw = packed[agg.field_offset : agg.field_offset + agg.field_width]
+        return int.from_bytes(raw, "little", signed=True)
+
+    def _pack_row(self, row) -> bytes:
+        return b"".join(
+            col.ctype.pack(value)
+            for col, value in zip(self.group_schema.columns, row)
+        )
+
+    def scan_segment(self, compute_ns: float = 0.0, passes: int = 1) -> List[ScanSegment]:
+        """One 8-byte register read per pass."""
+        segment = ScanSegment(
+            start=self.region.base,
+            n_elems=1,
+            elem_size=8,
+            stride=8,
+            compute_ns=compute_ns,
+            name=f"read:{self.name}:register",
+        )
+        return [segment] * passes
+
+
+class HWGroupByVariable(EphemeralVariable):
+    """A register-table ephemeral view holding a PL-computed GROUP BY.
+
+    The engine's group table streams out as packed (key, value) entries;
+    the CPU reads ``n_groups`` 16-byte entries — data movement scales
+    with the group cardinality, not the row count.
+    """
+
+    @property
+    def hw_group_by(self):
+        return self.pushdown
+
+    def expected_result(self) -> dict:
+        """The functional {key: aggregate} answer from the stored values."""
+        cfg = self.pushdown
+        accumulator = cfg.make_accumulator()
+        for row in super().values():
+            accumulator.feed(self._pack_row(row))
+        return accumulator.result()
+
+    def _pack_row(self, row) -> bytes:
+        return b"".join(
+            col.ctype.pack(value)
+            for col, value in zip(self.group_schema.columns, row)
+        )
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.expected_result())
+
+    def scan_segment(self, compute_ns: float = 0.0, passes: int = 1) -> List[ScanSegment]:
+        """Read the emitted group entries (16 bytes each)."""
+        segment = ScanSegment(
+            start=self.region.base,
+            n_elems=max(1, self.n_groups),
+            elem_size=16,
+            stride=16,
+            compute_ns=compute_ns,
+            name=f"read:{self.name}:groups",
+        )
+        return [segment] * passes

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class GeometryError(ConfigurationError):
+    """A table geometry violates an RME constraint (Table 1 of the paper)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class MemoryMapError(ReproError):
+    """An address did not fall into any mapped physical region."""
+
+
+class CapacityError(ReproError):
+    """A buffer or memory region ran out of space."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or a column reference is unknown."""
+
+
+class TransactionError(ReproError):
+    """An MVCC transaction violated snapshot-isolation rules."""
+
+
+class WriteConflictError(TransactionError):
+    """Two concurrent transactions wrote the same row (first-committer-wins)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references columns outside its ephemeral view."""
+
+
+class CompressionError(ReproError):
+    """Encoded data could not be decoded, or an encoding scheme is unusable."""

@@ -1,0 +1,43 @@
+"""The memory-system substrate: DRAM, caches, interconnect, CPU front-end.
+
+This package models the platform half of the paper's Figure 3 — everything
+the Relational Memory Engine plugs into:
+
+* :mod:`repro.memsys.memmap` — the physical address space, with byte-exact
+  backing storage for every mapped region.
+* :mod:`repro.memsys.dram` — a banked DRAM with open-page policy and a
+  shared data bus, the source of both the direct route's bandwidth and the
+  bank-level parallelism MLP exploits.
+* :mod:`repro.memsys.cache` / :mod:`repro.memsys.prefetcher` — the
+  Cortex-A53-like L1/L2 hierarchy with a stream prefetcher.
+* :mod:`repro.memsys.hierarchy` — the CPU-side load path, routing misses to
+  DRAM or to the programmable logic depending on the address region.
+* :mod:`repro.memsys.axi` / :mod:`repro.memsys.cdc` — AXI transactions and
+  the clock-domain-crossing cost of entering the 100 MHz PL domain.
+* :mod:`repro.memsys.cpu` — a scan-loop driver that replays a query's data
+  access pattern against the hierarchy.
+"""
+
+from .axi import AXIReadRequest, AXIReadResponse
+from .cache import Cache
+from .cdc import ClockDomain
+from .cpu import ScanDriver, ScanSegment
+from .dram import DRAM
+from .hierarchy import MemoryHierarchy
+from .memmap import MemoryMap, PhysicalMemory, Region
+from .prefetcher import StreamPrefetcher
+
+__all__ = [
+    "AXIReadRequest",
+    "AXIReadResponse",
+    "Cache",
+    "ClockDomain",
+    "DRAM",
+    "MemoryHierarchy",
+    "MemoryMap",
+    "PhysicalMemory",
+    "Region",
+    "ScanDriver",
+    "ScanSegment",
+    "StreamPrefetcher",
+]

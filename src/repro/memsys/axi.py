@@ -1,0 +1,53 @@
+"""AXI transaction types and an outstanding-transaction ID allocator.
+
+The AXI protocol (Section 2.1 of the paper) carries asynchronous read
+transactions identified by IDs, allowing a primary to keep several
+transactions in flight. The simulator models transactions as lightweight
+records; the interesting dynamics (outstanding limits, CDC costs, bus
+occupancy) live in the components that exchange them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterator
+
+from ..errors import SimulationError
+
+_txn_ids: Iterator[int] = count(1)
+
+
+@dataclass(frozen=True)
+class AXIReadRequest:
+    """A CPU- or PL-originated read: the paper's ``{A, ID}`` tuple."""
+
+    addr: int
+    nbytes: int
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+    source: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise SimulationError("AXI read must request at least one byte")
+        if self.addr < 0:
+            raise SimulationError("AXI read address must be non-negative")
+
+
+@dataclass(frozen=True)
+class AXIReadResponse:
+    """The matching ``{ID, RD}`` response."""
+
+    txn_id: int
+    data: bytes
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+def beats_for(nbytes: int, bus_bytes: int) -> int:
+    """Number of bus beats to move ``nbytes`` over a ``bus_bytes``-wide bus."""
+    if nbytes <= 0 or bus_bytes <= 0:
+        raise SimulationError("beats_for requires positive sizes")
+    return -(-nbytes // bus_bytes)

@@ -1,0 +1,15 @@
+"""Closed-form cost models mirroring the discrete-event simulator.
+
+Used for (a) the conceptual Figure 1 (query cost vs. projectivity), (b)
+fast parameter sweeps, and (c) the access-path optimizer's cost estimates.
+Tests cross-check these formulas against the simulator on the benchmark
+geometries.
+"""
+
+from .analytical import (
+    AnalyticalModel,
+    figure1_curves,
+)
+from .energy import EnergyBreakdown, EnergyModel
+
+__all__ = ["AnalyticalModel", "EnergyBreakdown", "EnergyModel", "figure1_curves"]

@@ -1,0 +1,228 @@
+"""Closed-form latency estimates for the three access paths.
+
+Each formula names the bottleneck the simulator exhibits:
+
+* **direct, sequential rows** (row <= line): the scan touches every line
+  of the table and streams at the DRAM bus rate (prefetch hides latency);
+* **direct, wide rows** (row > line): the stride defeats the A53-like
+  prefetcher, so every row pays the full unoverlapped miss latency;
+* **columnar**: same streaming machinery over ``C/R`` as many bytes;
+* **RME cold**: the fetch pipeline's slowest stage paces the engine —
+  descriptor generation, the shared DRAM issue port, DRAM bank occupancy,
+  or the buffer write port — and the serial designs additionally pay the
+  whole PL->DRAM round trip per row;
+* **RME hot**: packed lines stream out of BRAM over the PS-PL port.
+
+The estimates deliberately ignore second-order effects (cache-capacity
+hits across passes, bank conflicts), so agreement with the simulator is
+expected to ~25 %, which tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..config import PlatformConfig, ZCU102
+from ..errors import ConfigurationError
+from ..rme.designs import DesignParams, MLP
+
+
+@dataclass(frozen=True)
+class AnalyticalModel:
+    """Latency formulas bound to one platform configuration."""
+
+    platform: PlatformConfig = ZCU102
+
+    # -- building blocks ----------------------------------------------------------
+    @property
+    def line(self) -> int:
+        return self.platform.cache_line
+
+    def seq_line_ns(self) -> float:
+        """Per-line cost of a prefetched sequential stream (bus bound)."""
+        dram = self.platform.dram
+        beats = self.line // dram.bus_bytes
+        return max(beats * dram.t_beat, dram.t_ccd) + self.platform.l1_hit_ns
+
+    def random_line_ns(self) -> float:
+        """Per-line cost when the prefetcher cannot follow the stride."""
+        p = self.platform
+        dram = p.dram
+        beats = self.line // dram.bus_bytes
+        return (
+            p.l1_hit_ns
+            + p.l2_hit_ns
+            + p.l1_miss_issue_ns
+            + dram.t_controller
+            + dram.t_cas
+            + beats * dram.t_beat
+        )
+
+    # -- access paths ---------------------------------------------------------------
+    def direct_ns(self, row_size: int, group_width: int, n_rows: int,
+                  compute_ns: float = 0.0) -> float:
+        """Scan the row store touching ``group_width`` bytes per row."""
+        self._check(row_size, group_width, n_rows)
+        compute_total = n_rows * compute_ns
+        if row_size <= self.line:
+            lines = n_rows * row_size / self.line
+            return max(lines * self.seq_line_ns(), compute_total + lines * 2.0)
+        # Wide rows: ceil(width/line) demand misses per row, no prefetch.
+        lines_per_row = -(-group_width // self.line)
+        return n_rows * (lines_per_row * self.random_line_ns() + compute_ns)
+
+    def columnar_ns(self, group_width: int, n_rows: int,
+                    compute_ns: float = 0.0) -> float:
+        """Scan a packed column-store copy of the group."""
+        lines = n_rows * group_width / self.line
+        compute_total = n_rows * (compute_ns + 0.3)
+        return max(lines * self.seq_line_ns(), compute_total)
+
+    def cache_resident_ns(self, touched_lines: float, n_rows: int,
+                          compute_ns: float = 0.0) -> float:
+        """A repeat pass whose working set fits in L2 (L2-hit streaming)."""
+        p = self.platform
+        per_line = p.l1_hit_ns + p.l2_hit_ns
+        return touched_lines * per_line + n_rows * compute_ns
+
+    def direct_repeat_ns(self, row_size: int, group_width: int, n_rows: int,
+                         compute_ns: float = 0.0) -> float:
+        """A second direct pass: L2-resident when the table fits, else a
+        full re-scan (the paper's Q7 cache-pollution effect)."""
+        self._check(row_size, group_width, n_rows)
+        if n_rows * row_size <= self.platform.l2.size:
+            if row_size <= self.line:
+                lines = n_rows * row_size / self.line
+            else:
+                lines = n_rows * (-(-group_width // self.line))
+            return self.cache_resident_ns(lines, n_rows, compute_ns)
+        return self.direct_ns(row_size, group_width, n_rows, compute_ns)
+
+    def rme_hot_ns(self, group_width: int, n_rows: int,
+                   compute_ns: float = 0.0) -> float:
+        """Scan the ephemeral region with the buffer already filled."""
+        p = self.platform
+        lines = n_rows * group_width / self.line
+        beats = self.line / p.axi_bus_bytes
+        per_line = beats * p.pl_cycle_ns + p.pl_cycle_ns  # transfer + trap slot
+        compute_total = n_rows * (compute_ns + 0.3)
+        return max(lines * per_line, compute_total)
+
+    def rme_cold_ns(
+        self,
+        row_size: int,
+        group_width: int,
+        n_rows: int,
+        compute_ns: float = 0.0,
+        design: DesignParams = MLP,
+        col_offset: int = 0,
+    ) -> float:
+        """First (transforming) scan through the ephemeral variable."""
+        self._check(row_size, group_width, n_rows)
+        p = self.platform
+        dram = p.dram
+        lead = col_offset % dram.bus_bytes
+        beats = -(-(lead + group_width) // dram.bus_bytes)
+
+        issue = p.pl_cycles(p.pl_dram_issue_cycles)
+        extract = p.pl_cycles(p.extractor_cycles + (beats - 1))
+        dram_service = dram.t_controller + dram.t_cas + beats * dram.t_beat
+        round_trip = issue + p.pl_dram_latency_ns + dram_service + extract
+
+        if design.packer:
+            write = p.pl_cycles(p.packer_line_write_cycles) * min(
+                1.0, group_width / self.line
+            )
+        else:
+            write = p.pl_cycles(p.monitor_write_cycles)
+
+        if not design.pipelined:
+            per_row = round_trip + write + p.pl_cycles(p.requestor_cycles)
+            fetch = n_rows * per_row
+        else:
+            bank = dram.t_ccd + beats * dram.t_beat
+            stage = max(
+                p.pl_cycles(p.requestor_cycles),
+                issue,
+                bank,
+                write,
+                round_trip / design.outstanding_txns,
+            )
+            fetch = n_rows * stage + round_trip  # + pipeline fill latency
+        consume = self.rme_hot_ns(group_width, n_rows, compute_ns)
+        return max(fetch, consume)
+
+    def index_ns(
+        self,
+        height: int,
+        n_leaves: int,
+        n_matches: int,
+        node_bytes: int = 256,
+    ) -> float:
+        """A B+-tree probe plus per-match row fetches (all random lines).
+
+        ``height`` nodes on the probe path, ``n_leaves`` chained leaf
+        nodes for the range, and one point row access per match. Every
+        touch is an unprefetchable miss.
+        """
+        node_lines = max(1, -(-node_bytes // self.line))
+        random = self.random_line_ns()
+        probes = (height + n_leaves) * node_lines * random
+        fetches = n_matches * random
+        return probes + fetches
+
+    # -- helpers -----------------------------------------------------------------------
+    @staticmethod
+    def _check(row_size: int, group_width: int, n_rows: int) -> None:
+        if row_size <= 0 or n_rows <= 0:
+            raise ConfigurationError("row size and row count must be positive")
+        if not 0 < group_width <= row_size:
+            raise ConfigurationError(
+                f"group width {group_width} must be in (0, row={row_size}]"
+            )
+
+
+def figure1_curves(
+    projectivities: Sequence[float],
+    row_size: int = 64,
+    n_rows: int = 32_768,
+    platform: PlatformConfig = ZCU102,
+    reconstruction_ns_per_column: float = 1.2,
+    column_width: int = 4,
+) -> Dict[str, List[float]]:
+    """The conceptual curves of Figure 1: query cost vs. projectivity.
+
+    * row-store access cost is flat — the whole row moves regardless;
+    * column-store access grows with projectivity: more bytes move *and*
+      tuple reconstruction stitches more columns back together;
+    * the ideal curve is the minimum of the two — which is exactly what
+      the RME provides natively (its curve tracks the columnar cost
+      without the reconstruction term, capped by the row cost).
+    """
+    model = AnalyticalModel(platform)
+    if any(not 0.0 < p <= 1.0 for p in projectivities):
+        raise ConfigurationError("projectivities must lie in (0, 1]")
+    row_cost = model.direct_ns(row_size, row_size, n_rows)
+    rows: List[float] = []
+    columns: List[float] = []
+    ideal: List[float] = []
+    rme: List[float] = []
+    for proj in projectivities:
+        width = max(column_width, int(round(proj * row_size)))
+        width = min(width, row_size)
+        n_cols = max(1, width // column_width)
+        col_cost = model.columnar_ns(width, n_rows) + (
+            n_rows * reconstruction_ns_per_column * max(0, n_cols - 1)
+        )
+        rows.append(row_cost)
+        columns.append(col_cost)
+        ideal.append(min(row_cost, col_cost))
+        rme.append(min(row_cost, model.rme_hot_ns(width, n_rows)))
+    return {
+        "projectivity": list(projectivities),
+        "row_store": rows,
+        "column_store": columns,
+        "ideal": ideal,
+        "relational_memory": rme,
+    }

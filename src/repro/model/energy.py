@@ -1,0 +1,133 @@
+"""Per-query energy estimation.
+
+Table 3 reports the RME's power (0.733 W static + 3.6 W dynamic at
+100 MHz); combined with per-event energy constants for the memory system
+this lets the reproduction ask a question the paper leaves open: *what
+does routing analytics through the PL cost — or save — in energy?*
+
+The model charges:
+
+* **DRAM** — activation energy per row activate/precharge cycle plus
+  transfer energy per byte moved on the bus (both paths share these
+  constants; the RME saves by moving fewer bytes);
+* **SRAM** — per-access energies for L1/L2 (and the PL's BRAM traffic is
+  inside the PL dynamic power);
+* **CPU** — active-core power integrated over the busy time;
+* **PL** — static power always (the fabric is configured), dynamic power
+  only over the engine's busy window, scaled by the utilization of the
+  synthesised design.
+
+Constants are order-of-magnitude figures from the architecture
+literature (pJ/bit DDR transfer, nJ-scale row activations, ~100 pJ SRAM
+accesses); as with the latency model, only *comparisons between paths*
+are meaningful, not absolute joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PlatformConfig, ZCU102
+from ..errors import ConfigurationError
+from ..rme.resources import ResourceReport
+
+#: DRAM data-bus transfer energy (pJ per byte ~ 8 x 15 pJ/bit DDR4-ish).
+DRAM_PJ_PER_BYTE = 120.0
+#: One row activate + precharge cycle (nJ).
+DRAM_ACTIVATE_NJ = 2.0
+#: Per-access SRAM energies (nJ) for a 64-byte line.
+L1_ACCESS_NJ = 0.08
+L2_ACCESS_NJ = 0.35
+#: One active in-order core, busy (W).
+CPU_ACTIVE_W = 0.8
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one measured execution, in nanojoules."""
+
+    dram_nj: float
+    cache_nj: float
+    cpu_nj: float
+    pl_static_nj: float
+    pl_dynamic_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (self.dram_nj + self.cache_nj + self.cpu_nj
+                + self.pl_static_nj + self.pl_dynamic_nj)
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj / 1000.0
+
+    def rows(self) -> list:
+        return [
+            ("DRAM (nJ)", round(self.dram_nj, 1)),
+            ("caches (nJ)", round(self.cache_nj, 1)),
+            ("CPU (nJ)", round(self.cpu_nj, 1)),
+            ("PL static (nJ)", round(self.pl_static_nj, 1)),
+            ("PL dynamic (nJ)", round(self.pl_dynamic_nj, 1)),
+            ("total (nJ)", round(self.total_nj, 1)),
+        ]
+
+
+class EnergyModel:
+    """Charges a measured run's activity counters with energy costs."""
+
+    def __init__(
+        self,
+        platform: PlatformConfig = ZCU102,
+        pl_report: ResourceReport = None,
+        pl_present: bool = True,
+    ):
+        self.platform = platform
+        self.pl_report = pl_report
+        #: Whether the fabric is configured at all (its static power burns
+        #: regardless of use). Compare against ``False`` for a PL-less SoC.
+        self.pl_present = pl_present
+
+    def from_system(self, system, elapsed_ns: float,
+                    pl_busy_ns: float = None) -> EnergyBreakdown:
+        """Energy of the last measured run on a RelationalMemorySystem.
+
+        Reads the activity counters accumulated since the last
+        ``reset_stats()`` (the executor resets them per run). ``pl_busy_ns``
+        defaults to the whole elapsed window when the RME served requests,
+        0 otherwise.
+        """
+        if elapsed_ns < 0:
+            raise ConfigurationError("elapsed time must be >= 0")
+        dram = system.dram.stats
+        dram_bytes = sum(
+            counter.total
+            for name, counter in dram
+            if name.startswith("bytes_")
+        )
+        activates = dram.count("row_misses") + dram.count("row_empty")
+        l1 = sum(h.l1.stats.count("requests") for h in system.hierarchies)
+        l2 = sum(
+            {id(h.l2): h.l2.stats.count("requests") for h in system.hierarchies}.values()
+        )
+
+        rme_active = (
+            system.rme.stats.count("reads_cpu")
+            + system.rme.stats.count("reads_prefetch")
+        ) > 0 or dram.count("requests_rme") > 0
+        if pl_busy_ns is None:
+            pl_busy_ns = elapsed_ns if rme_active else 0.0
+
+        dram_nj = dram_bytes * DRAM_PJ_PER_BYTE / 1000.0 + activates * DRAM_ACTIVATE_NJ
+        cache_nj = l1 * L1_ACCESS_NJ + l2 * L2_ACCESS_NJ
+        cpu_nj = CPU_ACTIVE_W * elapsed_ns  # W x ns = nJ
+        static_w = self.pl_report.static_w if self.pl_report else 0.733
+        dynamic_w = self.pl_report.dynamic_w if self.pl_report else 3.6
+        pl_static_nj = (static_w * elapsed_ns) if self.pl_present else 0.0
+        pl_dynamic_nj = dynamic_w * pl_busy_ns
+        return EnergyBreakdown(
+            dram_nj=dram_nj,
+            cache_nj=cache_nj,
+            cpu_nj=cpu_nj,
+            pl_static_nj=pl_static_nj,
+            pl_dynamic_nj=pl_dynamic_nj,
+        )

@@ -1,0 +1,46 @@
+"""The query layer: expressions, operators, the Relational Memory
+Benchmark queries (Q1-Q7), an executor that prices queries over any access
+path, and a cost-based access-path optimizer.
+
+The executor follows the paper's philosophy (Section 3): the hardware only
+*reorganises* data; all actual computation — selection, aggregation,
+group-by — runs on the CPU, priced as per-element compute on top of the
+memory access pattern.
+"""
+
+from .expr import BinOp, Col, Const, Expr
+from .executor import QueryExecutor, QueryResult
+from .optimizer import AccessPathChoice, choose_access_path
+from .sql import parse_query
+from .queries import (
+    Query,
+    RELATIONAL_MEMORY_BENCHMARK,
+    q1,
+    q2,
+    q3,
+    q4,
+    q5,
+    q6,
+    q7,
+)
+
+__all__ = [
+    "AccessPathChoice",
+    "BinOp",
+    "Col",
+    "Const",
+    "Expr",
+    "Query",
+    "QueryExecutor",
+    "QueryResult",
+    "RELATIONAL_MEMORY_BENCHMARK",
+    "choose_access_path",
+    "parse_query",
+    "q1",
+    "q2",
+    "q3",
+    "q4",
+    "q5",
+    "q6",
+    "q7",
+]

@@ -1,0 +1,364 @@
+"""The query executor: functional answers plus simulated timing.
+
+For each query the executor does two things:
+
+1. **Compute the answer** with the pure-Python operators of
+   :mod:`repro.query.ops` over the table's actual values (applying MVCC
+   visibility when an ephemeral variable carries a snapshot).
+2. **Price the execution** by replaying the query's memory access pattern
+   on the simulated platform: a strided scan over the row-store (direct),
+   a packed scan over a columnar copy, or a packed scan over the
+   ephemeral region served by the RME — one segment per pass, with the
+   per-row compute cost derived from the query's expression tree and the
+   measured predicate selectivity.
+
+This split keeps results byte-verifiable (the RME's packed buffer is
+checked against software projections in the test suite) while the timing
+reflects the co-design's memory behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.access_path import AccessPath
+from ..core.ephemeral import EphemeralVariable
+from ..core.relmem import (
+    LoadedColumnGroup,
+    LoadedIndex,
+    LoadedTable,
+    RelationalMemorySystem,
+)
+from ..errors import QueryError
+from ..memsys.cpu import ScanSegment
+from . import ops
+from .expr import key_range
+from .queries import Query
+
+#: CPU cost (ns) of the binary search inside one B+-tree node.
+_NODE_SEARCH_NS = 2.7
+
+
+@dataclass
+class QueryResult:
+    """Everything one execution produced."""
+
+    query: str
+    path: AccessPath
+    value: Any
+    elapsed_ns: float
+    rows_scanned: int
+    selectivity: float
+    state: str  #: "cold" / "hot" for the RME path, "-" otherwise
+    cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ns_per_row(self) -> float:
+        return self.elapsed_ns / self.rows_scanned if self.rows_scanned else 0.0
+
+
+class QueryExecutor:
+    """Runs queries over a loaded table via any access path."""
+
+    def __init__(self, system: RelationalMemorySystem):
+        self.system = system
+
+    # -- public entry points ------------------------------------------------------
+    def run_direct(
+        self, query: Query, loaded: LoadedTable, flush: bool = True
+    ) -> QueryResult:
+        """Scan the row-oriented base table (the paper's Direct Access)."""
+        offset, width = loaded.schema.covering_group(query.columns())
+        value, selectivity, n_rows = self._answer(query, loaded)
+        compute = query.row_compute_ns(selectivity)
+        segment = ScanSegment(
+            start=loaded.base_addr + offset,
+            n_elems=n_rows,
+            elem_size=width,
+            stride=loaded.schema.row_size,
+            compute_ns=compute,
+            name=f"direct:{query.name}",
+        )
+        elapsed = self._measure([segment] * query.passes, flush)
+        return self._result(query, AccessPath.DIRECT_ROW, value, elapsed,
+                            n_rows, selectivity, "-")
+
+    def run_columnar(
+        self,
+        query: Query,
+        loaded: LoadedTable,
+        columnar: LoadedColumnGroup,
+        flush: bool = True,
+    ) -> QueryResult:
+        """Scan a materialised columnar copy (the Columnar baseline)."""
+        needed = query.columns()
+        missing = [c for c in needed if c not in columnar.columns]
+        if missing:
+            raise QueryError(
+                f"columnar copy {columnar.name!r} lacks columns {missing}"
+            )
+        value, selectivity, n_rows = self._answer(query, loaded)
+        compute = query.row_compute_ns(selectivity)
+        segment = ScanSegment(
+            start=columnar.base_addr,
+            n_elems=columnar.n_rows,
+            elem_size=columnar.width,
+            stride=columnar.width,
+            compute_ns=compute,
+            name=f"columnar:{query.name}",
+        )
+        elapsed = self._measure([segment] * query.passes, flush)
+        return self._result(query, AccessPath.COLUMNAR, value, elapsed,
+                            n_rows, selectivity, "-")
+
+    def run_rme(
+        self,
+        query: Query,
+        var: EphemeralVariable,
+        flush: bool = True,
+    ) -> QueryResult:
+        """Scan through the ephemeral variable (cold or hot as it stands)."""
+        needed = query.columns()
+        missing = [c for c in needed if c not in var.group_schema]
+        if missing:
+            raise QueryError(
+                f"ephemeral view {var.name!r} lacks columns {missing}"
+            )
+        self.system.activate(var)
+        state = "hot" if var.is_hot else "cold"
+        value, selectivity, n_rows = self._answer(query, var.loaded, var)
+        compute = query.row_compute_ns(selectivity)
+        segments = var.scan_segment(compute, query.passes)
+        elapsed = self._measure(segments, flush)
+        return self._result(query, AccessPath.RME, value, elapsed,
+                            n_rows, selectivity, state)
+
+    def run_rme_pushdown(
+        self,
+        query: Query,
+        var: EphemeralVariable,
+        flush: bool = True,
+    ) -> QueryResult:
+        """Scan a *filtered* ephemeral view (selection pushdown).
+
+        The variable's hardware comparator must implement the query's
+        predicate (build it with
+        :meth:`RelationalMemorySystem.register_filtered_var` from the same
+        condition); the CPU then scans only matching rows and spends no
+        cycles on the comparison.
+        """
+        from ..core.ephemeral import FilteredEphemeralVariable
+
+        if not isinstance(var, FilteredEphemeralVariable):
+            raise QueryError("run_rme_pushdown needs a filtered ephemeral view")
+        self.system.activate(var)
+        state = "hot" if var.is_hot else "cold"
+        # Functional: the view is pre-filtered; apply any residual predicate
+        # for safety (a no-op when it matches the hardware comparator).
+        names = var.group_schema.names
+        rows = [dict(zip(names, row)) for row in var.values()]
+        kept = ops.filter_rows(rows, query.predicate)
+        value = self._finalize(query, kept)
+        n_rows = var.loaded.table.n_rows
+        selectivity = len(kept) / n_rows if n_rows else 0.0
+        # Timing: matching rows only, and no predicate cost on the CPU.
+        segments = var.scan_segment(query.work_cost_ns(), query.passes)
+        elapsed = self._measure(segments, flush)
+        return self._result(query, AccessPath.RME, value, elapsed,
+                            n_rows, selectivity, state)
+
+    def run_rme_hw_aggregate(self, var: EphemeralVariable, flush: bool = True) -> QueryResult:
+        """Read a PL-computed aggregate: one register line of traffic.
+
+        The variable comes from
+        :meth:`RelationalMemorySystem.register_hw_aggregate`; cold, the
+        read stalls until the engine's fetch stream drains (the whole
+        aggregation happens in hardware), hot it is a single buffer hit.
+        """
+        from ..core.ephemeral import HWAggregateVariable
+
+        if not isinstance(var, HWAggregateVariable):
+            raise QueryError("run_rme_hw_aggregate needs a HW-aggregate view")
+        self.system.activate(var)
+        state = "hot" if self.system.rme.pushdown_done and self.system.is_active(var) else "cold"
+        value = var.expected_result()
+        segments = var.scan_segment()
+        elapsed = self._measure(segments, flush)
+        agg = var.hw_aggregation
+        n_rows = var.loaded.table.n_rows
+        return self._result(
+            Query(name=f"hw_{agg.func}", sql=f"PL {agg.func} pushdown",
+                  select=("__register__",)),
+            AccessPath.RME, value, elapsed, n_rows, 1.0, state,
+        )
+
+    def run_rme_hw_group_by(self, var: EphemeralVariable, flush: bool = True) -> QueryResult:
+        """Read a PL-computed GROUP BY table: one 16-byte entry per group."""
+        from ..core.ephemeral import HWGroupByVariable
+
+        if not isinstance(var, HWGroupByVariable):
+            raise QueryError("run_rme_hw_group_by needs a HW group-by view")
+        self.system.activate(var)
+        state = "hot" if self.system.rme.pushdown_done and self.system.is_active(var) else "cold"
+        value = var.expected_result()
+        elapsed = self._measure(var.scan_segment(), flush)
+        cfg = var.hw_group_by
+        n_rows = var.loaded.table.n_rows
+        return self._result(
+            Query(name=f"hw_groupby_{cfg.func}",
+                  sql=f"PL {cfg.func} GROUP BY pushdown",
+                  select=("__groups__",)),
+            AccessPath.RME, value, elapsed, n_rows, 1.0, state,
+        )
+
+    def run_index(
+        self,
+        query: Query,
+        loaded: LoadedTable,
+        loaded_index: LoadedIndex,
+        flush: bool = True,
+    ) -> QueryResult:
+        """Probe a B+-tree and fetch only the qualifying rows.
+
+        The query's predicate must impose a simple range on the indexed
+        column; the index narrows the scan to matching rows (a point
+        access per match), which wins only for very selective queries —
+        the trade-off Section 4 describes.
+        """
+        index = loaded_index.index
+        if query.predicate is None:
+            raise QueryError("the index path needs a selective predicate")
+        bounds = key_range(query.predicate, index.column)
+        if bounds is None:
+            raise QueryError(
+                f"predicate {query.predicate!r} does not impose a range on "
+                f"indexed column {index.column!r}"
+            )
+        low, high, inclusive = bounds
+        row_ids = index.range(low, high, inclusive)
+
+        # Functional answer over exactly the matched rows.
+        columns = query.columns()
+        all_rows = self._rows(loaded, columns, None)
+        matched = [all_rows[i] for i in row_ids if i < len(all_rows)]
+        kept = ops.filter_rows(matched, query.predicate)  # residual filter
+        value = self._finalize(query, kept)
+        n_rows = loaded.table.n_rows
+        selectivity = len(kept) / n_rows if n_rows else 0.0
+
+        # Timing: root-to-leaf probe + leaf chain + one row touch per match.
+        if flush:
+            self.system.flush_caches()
+        self.system.reset_stats()
+        probe = loaded_index.probe_points(low if low is not None else high)
+        leaves = loaded_index.leaf_points(low, high)
+        offset, width = loaded.schema.covering_group(columns)
+        row_size = loaded.schema.row_size
+        fetches = [
+            (loaded.base_addr + rid * row_size + offset, width) for rid in row_ids
+        ]
+        elapsed = self.system.measure_points(probe + leaves, _NODE_SEARCH_NS)
+        elapsed += self.system.measure_points(
+            fetches, query.work_cost_ns() + query.predicate_cost_ns()
+        )
+        result = self._result(query, AccessPath.INDEX, value, elapsed,
+                              n_rows, selectivity, "-")
+        return result
+
+    def run(
+        self,
+        query: Query,
+        loaded: LoadedTable,
+        path: AccessPath,
+        var: Optional[EphemeralVariable] = None,
+        columnar: Optional[LoadedColumnGroup] = None,
+        index: Optional[LoadedIndex] = None,
+        flush: bool = True,
+    ) -> QueryResult:
+        """Dispatch on the access path."""
+        if path is AccessPath.DIRECT_ROW:
+            return self.run_direct(query, loaded, flush)
+        if path is AccessPath.COLUMNAR:
+            if columnar is None:
+                raise QueryError("columnar path requires a materialised copy")
+            return self.run_columnar(query, loaded, columnar, flush)
+        if path is AccessPath.RME:
+            if var is None:
+                raise QueryError("RME path requires an ephemeral variable")
+            return self.run_rme(query, var, flush)
+        if path is AccessPath.INDEX:
+            if index is None:
+                raise QueryError("index path requires a loaded index")
+            return self.run_index(query, loaded, index, flush)
+        raise QueryError(f"unknown access path {path!r}")
+
+    # -- functional evaluation -----------------------------------------------------
+    def _answer(
+        self,
+        query: Query,
+        loaded: LoadedTable,
+        var: Optional[EphemeralVariable] = None,
+    ):
+        """Returns ``(value, selectivity, physical_rows_scanned)``.
+
+        The scan always walks every *physical* row (superseded MVCC
+        versions included — that is what sits in memory); the answer only
+        uses versions visible at the snapshot, matching what the RME
+        regenerates for ephemeral variables.
+        """
+        columns = query.columns()
+        rows = self._rows(loaded, columns, var)
+        n_rows = loaded.table.n_rows
+        kept = ops.filter_rows(rows, query.predicate)
+        selectivity = len(kept) / n_rows if n_rows else 0.0
+        return self._finalize(query, kept), selectivity, n_rows
+
+    @staticmethod
+    def _finalize(query: Query, kept: List[Dict[str, Any]]) -> Any:
+        """Aggregate / group / project the filtered rows."""
+        if query.group_by is not None:
+            return ops.group_aggregate(
+                kept, query.group_by, query.aggregate, query.agg_expr
+            )
+        if query.aggregate is not None:
+            values = [query.agg_expr.eval(row) for row in kept]
+            return ops.aggregate(query.aggregate, values)
+        return ops.project(kept, query.select)
+
+    @staticmethod
+    def _rows(
+        loaded: LoadedTable,
+        columns: Sequence[str],
+        var: Optional[EphemeralVariable],
+    ) -> List[Dict[str, Any]]:
+        if var is not None:
+            names = var.group_schema.names
+            return [dict(zip(names, row)) for row in var.values()]
+        tuples = loaded.table.project_values(list(columns))
+        rows = [dict(zip(columns, row)) for row in tuples]
+        if loaded.versioned is not None:
+            # A row-at-a-time engine checks the begin/end timestamps while
+            # scanning; only currently-valid versions contribute.
+            mask = loaded.versioned.visibility_mask(loaded.current_ts())
+            rows = [row for row, visible in zip(rows, mask) if visible]
+        return rows
+
+    # -- timing ------------------------------------------------------------------------
+    def _measure(self, segments: Sequence[ScanSegment], flush: bool) -> float:
+        if flush:
+            self.system.flush_caches()
+        self.system.reset_stats()
+        return self.system.measure(segments)
+
+    def _result(self, query, path, value, elapsed, n_rows, selectivity, state):
+        return QueryResult(
+            query=query.name,
+            path=path,
+            value=value,
+            elapsed_ns=elapsed,
+            rows_scanned=n_rows,
+            selectivity=selectivity,
+            state=state,
+            cache_stats=self.system.cache_stats(),
+        )

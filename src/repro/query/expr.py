@@ -1,0 +1,211 @@
+"""Scalar expressions and predicates over row tuples.
+
+A tiny expression tree sufficient for the paper's benchmark queries:
+column references, constants, arithmetic and comparisons. Every node
+knows its referenced columns (to size the ephemeral column group), how to
+evaluate itself against a row environment, and a per-evaluation CPU cost
+in nanoseconds — the compute side of the scan-loop timing model.
+
+Costs are calibrated for a 1.5 GHz in-order core: simple ALU ops take
+about two-thirds of a nanosecond, multiplies slightly more, divides much
+more. They only matter *relative* to memory costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet
+
+from ..errors import QueryError
+
+#: Per-operator CPU cost (ns) on the modelled core.
+OP_COST_NS = {
+    "+": 0.67,
+    "-": 0.67,
+    "*": 1.33,
+    "/": 8.0,
+    ">": 0.67,
+    ">=": 0.67,
+    "<": 0.67,
+    "<=": 0.67,
+    "==": 0.67,
+    "!=": 0.67,
+    "and": 0.67,
+    "or": 0.67,
+}
+
+_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+class Expr:
+    """Base expression node; builds trees via operator overloading."""
+
+    def eval(self, env: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def cost_ns(self) -> float:
+        """CPU nanoseconds to evaluate this node once."""
+        raise NotImplementedError
+
+    # -- tree building -----------------------------------------------------------
+    def _bin(self, op: str, other: Any) -> "BinOp":
+        other_expr = other if isinstance(other, Expr) else Const(other)
+        return BinOp(op, self, other_expr)
+
+    def __add__(self, other: Any) -> "BinOp":
+        return self._bin("+", other)
+
+    def __sub__(self, other: Any) -> "BinOp":
+        return self._bin("-", other)
+
+    def __mul__(self, other: Any) -> "BinOp":
+        return self._bin("*", other)
+
+    def __truediv__(self, other: Any) -> "BinOp":
+        return self._bin("/", other)
+
+    def __gt__(self, other: Any) -> "BinOp":
+        return self._bin(">", other)
+
+    def __ge__(self, other: Any) -> "BinOp":
+        return self._bin(">=", other)
+
+    def __lt__(self, other: Any) -> "BinOp":
+        return self._bin("<", other)
+
+    def __le__(self, other: Any) -> "BinOp":
+        return self._bin("<=", other)
+
+    def eq(self, other: Any) -> "BinOp":
+        """Equality predicate (named method: ``__eq__`` stays identity)."""
+        return self._bin("==", other)
+
+    def ne(self, other: Any) -> "BinOp":
+        return self._bin("!=", other)
+
+    def and_(self, other: Any) -> "BinOp":
+        return self._bin("and", other)
+
+    def or_(self, other: Any) -> "BinOp":
+        return self._bin("or", other)
+
+
+class Col(Expr):
+    """A reference to a column of the scanned relation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise QueryError("column reference needs a name")
+        self.name = name
+
+    def eval(self, env: Dict[str, Any]) -> Any:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise QueryError(f"column {self.name!r} missing from row") from None
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def cost_ns(self) -> float:
+        # A register-resident load; the memory system prices the real fetch.
+        return 0.33
+
+    def __repr__(self) -> str:
+        return f"Col({self.name})"
+
+
+class Const(Expr):
+    """A literal value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def eval(self, env: Dict[str, Any]) -> Any:
+        return self.value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def cost_ns(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+def key_range(expr: "Expr", column: str):
+    """Extract the index-usable range a predicate imposes on ``column``.
+
+    Returns ``(low, high, (low_inclusive, high_inclusive))`` with ``None``
+    for an open bound, or ``None`` when the predicate is not a simple
+    comparison between the column and a constant (those run as filters).
+    """
+    if not isinstance(expr, BinOp):
+        return None
+    left, right, op = expr.left, expr.right, expr.op
+    if isinstance(left, Col) and isinstance(right, Const) and left.name == column:
+        value = right.value
+    elif isinstance(right, Col) and isinstance(left, Const) and right.name == column:
+        # Mirror the comparison: const OP col  ==  col OP' const.
+        value = left.value
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}.get(op)
+        if op is None:
+            return None
+    else:
+        return None
+    if op == "<":
+        return (None, value, (True, False))
+    if op == "<=":
+        return (None, value, (True, True))
+    if op == ">":
+        return (value, None, (False, True))
+    if op == ">=":
+        return (value, None, (True, True))
+    if op == "==":
+        return (value, value, (True, True))
+    return None
+
+
+class BinOp(Expr):
+    """A binary arithmetic, comparison or boolean node."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _OPS:
+            raise QueryError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Dict[str, Any]) -> Any:
+        return _OPS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def cost_ns(self) -> float:
+        return OP_COST_NS[self.op] + self.left.cost_ns() + self.right.cost_ns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"

@@ -1,0 +1,102 @@
+"""Physical operators: filter, project, aggregate, group-by.
+
+Pure-Python implementations the executor uses to compute *functional*
+query answers (the timing comes from the simulated memory system, not
+from Python's speed). Q7's standard deviation is deliberately two-pass —
+mean first, then squared deviations — mirroring Eq. (7) and the access
+pattern the paper times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .expr import Expr
+
+
+def filter_rows(
+    rows: Iterable[Dict[str, Any]], predicate: Optional[Expr]
+) -> List[Dict[str, Any]]:
+    """Apply a predicate; ``None`` keeps everything."""
+    if predicate is None:
+        return list(rows)
+    return [row for row in rows if predicate.eval(row)]
+
+
+def project(rows: Iterable[Dict[str, Any]], columns: Sequence[str]) -> List[Tuple]:
+    """Materialise the projection as row-ordered tuples."""
+    return [tuple(row[c] for c in columns) for row in rows]
+
+
+def agg_sum(values: Sequence[Any]) -> Any:
+    """SUM over the input values."""
+    return sum(values)
+
+
+def agg_count(values: Sequence[Any]) -> int:
+    """COUNT of the input values."""
+    return len(values)
+
+
+def agg_avg(values: Sequence[Any]) -> float:
+    """AVG over a non-empty input."""
+    if not values:
+        raise QueryError("AVG over an empty input")
+    return sum(values) / len(values)
+
+
+def agg_std(values: Sequence[Any]) -> float:
+    """Two-pass sample standard deviation (Eq. 7 of the paper)."""
+    n = len(values)
+    if n < 2:
+        raise QueryError("STD needs at least two values")
+    mean = sum(values) / n
+    return math.sqrt(sum((x - mean) ** 2 for x in values) / (n - 1))
+
+
+def agg_min(values: Sequence[Any]) -> Any:
+    """MIN over a non-empty input."""
+    if not values:
+        raise QueryError("MIN over an empty input")
+    return min(values)
+
+
+def agg_max(values: Sequence[Any]) -> Any:
+    """MAX over a non-empty input."""
+    if not values:
+        raise QueryError("MAX over an empty input")
+    return max(values)
+
+
+AGGREGATES: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "sum": agg_sum,
+    "count": agg_count,
+    "avg": agg_avg,
+    "std": agg_std,
+    "min": agg_min,
+    "max": agg_max,
+}
+
+
+def aggregate(name: str, values: Sequence[Any]) -> Any:
+    """Apply the named aggregate to the values."""
+    try:
+        func = AGGREGATES[name]
+    except KeyError:
+        raise QueryError(f"unknown aggregate {name!r}") from None
+    return func(values)
+
+
+def group_aggregate(
+    rows: Iterable[Dict[str, Any]],
+    group_col: str,
+    agg_name: str,
+    agg_expr: Expr,
+) -> Dict[Any, Any]:
+    """GROUP BY ``group_col`` with one aggregate; returns {key: value}."""
+    buckets: Dict[Any, List[Any]] = {}
+    for row in rows:
+        buckets.setdefault(row[group_col], []).append(agg_expr.eval(row))
+    return {key: aggregate(agg_name, values) for key, values in buckets.items()}

@@ -1,0 +1,126 @@
+"""A cost-based access-path optimizer.
+
+Section 4 of the paper ("Indexes & Execution Strategies") sketches the
+payoff of native dual-layout access: "at runtime, the query optimizer can
+decide to execute one query with indexes and another query with columns,
+alternating between a row-at-a-time and column-at-a-time execution
+strategy depending on what is the best fit for each query."
+
+This module implements that decision for scans: given a query and a
+loaded table, it prices every available access path with the analytical
+model and picks the cheapest, reporting the estimates so callers (and the
+advisor example) can show their work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.access_path import AccessPath
+from ..core.relmem import LoadedTable
+from ..errors import QueryError
+from ..model.analytical import AnalyticalModel
+from ..rme.designs import DesignParams, MLP
+from .queries import Query
+
+
+@dataclass(frozen=True)
+class AccessPathChoice:
+    """The optimizer's decision and its supporting estimates."""
+
+    query: str
+    best: AccessPath
+    estimates_ns: Dict[AccessPath, float]
+    reason: str
+
+    def speedup_vs(self, other: AccessPath) -> float:
+        """Estimated speedup of the chosen path over ``other``."""
+        if other not in self.estimates_ns:
+            raise QueryError(f"no estimate for path {other}")
+        return self.estimates_ns[other] / self.estimates_ns[self.best]
+
+
+def choose_access_path(
+    query: Query,
+    loaded: LoadedTable,
+    design: DesignParams = MLP,
+    has_columnar_copy: bool = False,
+    rme_hot: bool = False,
+    selectivity: float = 1.0,
+    index=None,
+    model: Optional[AnalyticalModel] = None,
+) -> AccessPathChoice:
+    """Pick the cheapest access path for a scan query.
+
+    ``has_columnar_copy`` only enables the columnar estimate — the copy
+    costs storage and maintenance the optimizer does not price here.
+    ``rme_hot`` prices the RME path with the projection already buffered
+    (e.g. a repeated query on the same column group). ``index`` enables
+    the B+-tree estimate when the predicate imposes a range on the
+    indexed column; with a selective predicate the index wins, otherwise
+    the packed scans do — the per-query alternation Section 4 sketches.
+    """
+    from .expr import key_range
+
+    model = model or AnalyticalModel()
+    schema = loaded.schema
+    offset, width = schema.covering_group(query.columns())
+    n_rows = loaded.table.n_rows
+    compute = query.row_compute_ns(selectivity)
+    passes = query.passes
+
+    estimates: Dict[AccessPath, float] = {
+        AccessPath.DIRECT_ROW: model.direct_ns(
+            schema.row_size, width, n_rows, compute
+        )
+        + (passes - 1)
+        * model.direct_repeat_ns(schema.row_size, width, n_rows, compute)
+    }
+    if has_columnar_copy:
+        estimates[AccessPath.COLUMNAR] = passes * model.columnar_ns(
+            width, n_rows, compute
+        )
+    if rme_hot:
+        estimates[AccessPath.RME] = passes * model.rme_hot_ns(width, n_rows, compute)
+    else:
+        # First pass transforms; any further passes run hot.
+        cold = model.rme_cold_ns(
+            schema.row_size, width, n_rows, compute, design, offset
+        )
+        hot = model.rme_hot_ns(width, n_rows, compute)
+        estimates[AccessPath.RME] = cold + (passes - 1) * hot
+
+    if (
+        index is not None
+        and query.predicate is not None
+        and key_range(query.predicate, index.column) is not None
+    ):
+        matches = max(1, int(round(selectivity * n_rows)))
+        touched_leaves = max(1, -(-matches // index.fanout))
+        estimates[AccessPath.INDEX] = passes * model.index_ns(
+            index.height, touched_leaves, matches, index.node_bytes
+        )
+
+    best = min(estimates, key=estimates.get)
+    reason = _explain(query, best, width, schema.row_size)
+    return AccessPathChoice(query.name, best, estimates, reason)
+
+
+def _explain(query: Query, best: AccessPath, width: int, row_size: int) -> str:
+    projectivity = width / row_size
+    if best is AccessPath.INDEX:
+        return "the predicate is selective enough that probing the B+-tree " \
+               "and fetching the few matches beats any scan"
+    if best is AccessPath.DIRECT_ROW:
+        return (
+            f"projectivity {projectivity:.0%} is high enough that moving whole "
+            "rows is no worse than routing through the PL"
+        )
+    if best is AccessPath.COLUMNAR:
+        return "a maintained columnar copy exists and packed streaming wins"
+    detail = "buffered projection streams from BRAM" if query.passes > 1 else (
+        f"only {projectivity:.0%} of each row is useful; on-the-fly projection "
+        "skips the rest"
+    )
+    return detail

@@ -1,0 +1,249 @@
+"""A small SQL front-end for the benchmark's query class.
+
+The paper presents its workload as SQL (Listings 3, 5, 6). This module
+parses exactly that dialect into :class:`repro.query.queries.Query`
+objects:
+
+.. code-block:: sql
+
+    SELECT A1, A2 FROM S;
+    SELECT SUM(num_fld1 * num_fld4) FROM the_table WHERE num_fld3 > 10;
+    SELECT AVG(A1) FROM S WHERE A3 < 5 AND A2 >= 0 GROUP BY A2;
+    SELECT STD(A1) FROM S;
+
+Grammar (case-insensitive keywords)::
+
+    query      :=  SELECT select_list FROM name [WHERE predicate]
+                   [GROUP BY name] [";"]
+    select_list:=  "*" | agg "(" expr ")" | name ("," name)*
+    agg        :=  SUM | AVG | COUNT | MIN | MAX | STD
+    predicate  :=  disjunct (OR disjunct)*
+    disjunct   :=  comparison (AND comparison)*
+    comparison :=  expr (cmp expr) | "(" predicate ")"
+    cmp        :=  "<" | "<=" | ">" | ">=" | "=" | "==" | "!=" | "<>"
+    expr       :=  term (("+"|"-") term)*
+    term       :=  factor (("*"|"/") factor)*
+    factor     :=  number | name | "(" expr ")" | "-" factor
+
+STD parses to the two-pass standard-deviation query, like Q7.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import QueryError
+from .expr import BinOp, Col, Const, Expr
+from .queries import Query
+
+_KEYWORDS = {"select", "from", "where", "group", "by", "and", "or"}
+_AGGREGATES = {"sum", "avg", "count", "min", "max", "std"}
+#: Aggregates that need two passes over the data.
+_TWO_PASS = {"std"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|<>|[<>=+\-*/(),;])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value):
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.value}"
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise QueryError(f"SQL syntax error at {sql[position:position + 12]!r}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "number":
+            text = match.group()
+            value = float(text) if "." in text else int(text)
+            tokens.append(_Token("number", value))
+        elif match.lastgroup == "name":
+            word = match.group()
+            lower = word.lower()
+            if lower in _KEYWORDS:
+                tokens.append(_Token("keyword", lower))
+            else:
+                tokens.append(_Token("name", word))
+        else:
+            tokens.append(_Token("op", match.group()))
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over the token stream."""
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.position = 0
+
+    # -- token plumbing --------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self.sql!r}")
+        self.position += 1
+        return token
+
+    def _accept(self, kind: str, value=None) -> Optional[_Token]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        return self._next()
+
+    def _expect(self, kind: str, value=None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            found = self._peek()
+            raise QueryError(
+                f"expected {value or kind}, found "
+                f"{found.value if found else 'end of query'!r} in {self.sql!r}"
+            )
+        return token
+
+    # -- the grammar ---------------------------------------------------------------
+    def parse(self, name: str) -> Query:
+        self._expect("keyword", "select")
+        select, aggregate, agg_expr = self._select_list()
+        self._expect("keyword", "from")
+        self._expect("name")  # the relation; single-table queries only
+        predicate = None
+        group_by = None
+        if self._accept("keyword", "where"):
+            predicate = self._predicate()
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by = self._expect("name").value
+        self._accept("op", ";")
+        if self._peek() is not None:
+            raise QueryError(f"trailing tokens after query: {self.sql!r}")
+        if group_by is not None and aggregate is None:
+            raise QueryError("GROUP BY requires an aggregate select list")
+        return Query(
+            name=name,
+            sql=self.sql.strip().rstrip(";"),
+            select=tuple(select),
+            predicate=predicate,
+            aggregate=aggregate,
+            agg_expr=agg_expr,
+            group_by=group_by,
+            passes=2 if aggregate in _TWO_PASS else 1,
+        )
+
+    def _select_list(self) -> Tuple[List[str], Optional[str], Optional[Expr]]:
+        token = self._peek()
+        if token is not None and token.kind == "name":
+            lower = str(token.value).lower()
+            if lower in _AGGREGATES:
+                # Lookahead: aggregate call or a plain column that happens
+                # to be named like one?
+                after = (
+                    self.tokens[self.position + 1]
+                    if self.position + 1 < len(self.tokens)
+                    else None
+                )
+                if after is not None and after.kind == "op" and after.value == "(":
+                    self._next()
+                    self._expect("op", "(")
+                    agg_expr = self._expr()
+                    self._expect("op", ")")
+                    return [], lower, agg_expr
+        columns = [self._expect("name").value]
+        while self._accept("op", ","):
+            columns.append(self._expect("name").value)
+        return columns, None, None
+
+    def _predicate(self) -> Expr:
+        left = self._disjunct()
+        while self._accept("keyword", "or"):
+            left = BinOp("or", left, self._disjunct())
+        return left
+
+    def _disjunct(self) -> Expr:
+        left = self._comparison()
+        while self._accept("keyword", "and"):
+            left = BinOp("and", left, self._comparison())
+        return left
+
+    def _comparison(self) -> Expr:
+        left = self._expr()
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value in (
+            "<", "<=", ">", ">=", "=", "==", "!=", "<>",
+        ):
+            op = self._next().value
+            op = {"=": "==", "<>": "!="}.get(op, op)
+            return BinOp(op, left, self._expr())
+        return left
+
+    def _expr(self) -> Expr:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value in ("+", "-"):
+                op = self._next().value
+                left = BinOp(op, left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value in ("*", "/"):
+                op = self._next().value
+                left = BinOp(op, left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        if self._accept("op", "("):
+            inner = self._predicate()
+            self._expect("op", ")")
+            return inner
+        if self._accept("op", "-"):
+            return BinOp("-", Const(0), self._factor())
+        token = self._next()
+        if token.kind == "number":
+            return Const(token.value)
+        if token.kind == "name":
+            return Col(token.value)
+        raise QueryError(f"unexpected token {token.value!r} in {self.sql!r}")
+
+
+def parse_query(sql: str, name: str = "adhoc") -> Query:
+    """Parse one SQL statement into a :class:`Query`.
+
+    Supports the single-table scan dialect of the paper's benchmark:
+    projections, one aggregate with an arbitrary arithmetic argument, a
+    WHERE tree of comparisons combined with AND/OR, and GROUP BY.
+    """
+    return _Parser(sql).parse(name)

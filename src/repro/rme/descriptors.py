@@ -1,0 +1,56 @@
+"""Request descriptors — the Requestor -> Fetch Unit hand-off record.
+
+A descriptor tells a Fetch Unit everything it needs for one row: where to
+read in main memory (bus-aligned), how many beats to burst, which bytes of
+the response are useful, and where the packed bytes belong in the
+reorganization buffer. See Section 5 ("Requestor") and Eqs. (1)-(6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class RequestDescriptor:
+    """One row's fetch instructions."""
+
+    row: int  #: row index i
+    r_addr: int  #: Eq. (2) — bus-aligned main-memory read address
+    burst: int  #: Eq. (3) — burst length in bus beats
+    w_addr: int  #: Eq. (4) — byte offset in the reorganization buffer
+    lead_skip: int  #: Eq. (5) — leading bytes to discard from the response
+    trail_cut: int  #: Eq. (6) — (P_i + C) mod B_w, the trailing-cut marker
+    col_width: int  #: C_An, bytes of useful data
+    bus_bytes: int  #: B_w, width of one bus beat
+
+    def __post_init__(self) -> None:
+        if self.burst < 1:
+            raise GeometryError(f"descriptor burst must be >= 1, got {self.burst}")
+        if not 0 <= self.lead_skip < self.bus_bytes:
+            raise GeometryError("lead skip must be within one bus beat")
+        if self.r_addr % self.bus_bytes:
+            raise GeometryError("descriptor read address must be bus-aligned")
+        if self.col_width <= 0:
+            raise GeometryError("descriptor column width must be positive")
+
+    @property
+    def read_bytes(self) -> int:
+        """Bytes moved over the bus for this descriptor."""
+        return self.burst * self.bus_bytes
+
+    @property
+    def wasted_bytes(self) -> int:
+        """Bytes fetched but discarded by the Column Extractor."""
+        return self.read_bytes - self.col_width
+
+    def extract(self, payload: bytes) -> bytes:
+        """Apply the Column Extractor's byte selection to a burst payload."""
+        if len(payload) < self.lead_skip + self.col_width:
+            raise GeometryError(
+                f"burst payload of {len(payload)} bytes too short for "
+                f"lead={self.lead_skip} + C={self.col_width}"
+            )
+        return payload[self.lead_skip : self.lead_skip + self.col_width]

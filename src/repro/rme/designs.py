@@ -1,0 +1,65 @@
+"""The three hardware revisions evaluated in the paper (Section 5.2).
+
+* **BSL** — the baseline of Section 5.1: one fetch unit, a single
+  outstanding DRAM transaction, and every extracted chunk written straight
+  through the Monitor Bypass to BRAM (the fetch unit stalls until the
+  write acknowledges).
+* **PCK** — the *Packer* revision: a register accumulates extracted chunks
+  and only writes to BRAM once a full line is assembled, cutting BRAM
+  write traffic.
+* **MLP** — the *Memory-Level-Parallelism* revision: on top of the packer,
+  the fetch path emits up to 16 independent outstanding DRAM transactions,
+  overlapping their latencies across DRAM banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DesignParams:
+    """Micro-architectural knobs distinguishing the design revisions."""
+
+    name: str
+    #: Maximum independent outstanding PL->DRAM read transactions.
+    outstanding_txns: int
+    #: Packer register present: writes to BRAM happen per packed line
+    #: instead of per extracted chunk.
+    packer: bool
+    #: The fetch unit stalls until its BRAM write acknowledges before
+    #: accepting the next descriptor (true for the non-pipelined designs).
+    serial_write: bool
+
+    def __post_init__(self) -> None:
+        if self.outstanding_txns < 1:
+            raise ConfigurationError("a design needs at least one outstanding txn")
+        if not self.name:
+            raise ConfigurationError("design name must be non-empty")
+
+    @property
+    def pipelined(self) -> bool:
+        """True when fetch stages overlap (more than one txn in flight)."""
+        return self.outstanding_txns > 1
+
+
+BSL = DesignParams(name="BSL", outstanding_txns=1, packer=False, serial_write=True)
+PCK = DesignParams(name="PCK", outstanding_txns=1, packer=True, serial_write=True)
+MLP = DesignParams(name="MLP", outstanding_txns=16, packer=True, serial_write=False)
+
+#: All revisions, in the order the paper presents them.
+ALL_DESIGNS = (BSL, PCK, MLP)
+
+_BY_NAME = {design.name: design for design in ALL_DESIGNS}
+
+
+def design_by_name(name: str) -> DesignParams:
+    """Look a revision up by its paper name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown RME design {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,456 @@
+"""The assembled Relational Memory Engine.
+
+:class:`RMEngine` wires the six modules of Figure 5 together and exposes
+two surfaces:
+
+* a **configuration port** — :meth:`configure` latches a
+  :class:`repro.config.RMEConfig` (Table 1) or the multi-run extension and
+  resets the reorganization buffer, making the next access cold;
+* a **CPU-facing line port** — :meth:`read_line` implements the memory
+  hierarchy's backend protocol, so the cache subsystem routes ephemeral-
+  region misses here exactly like it routes ordinary misses to DRAM.
+
+Following the paper, the fetch pipeline does *not* start at configuration
+time: the Monitor Bypass activates the Requestor when it detects the first
+access after a reconfiguration, and from then on the CPU only stalls on
+packed lines the Fetch Units have not completed yet.
+
+**Windowed projections.** The prototype caps the extracted column group at
+the on-chip capacity (2 MB) and notes that larger data requires a costly
+periodic re-initialisation (Section 6.2). ``configure(..., windowed=True)``
+models exactly that: the projection is laid out in buffer-sized windows; a
+demand access to another window cancels the in-flight fetch session, pays
+``window_reinit_ns``, and restarts the pipeline over the new window's
+rows. Sequential scans work (with the re-initialisation cliff visible in
+the timing); random access across windows thrashes — which is the point
+the paper makes by avoiding such geometries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..config import PlatformConfig, RMEConfig
+from ..errors import ConfigurationError, MemoryMapError
+from ..memsys.dram import DRAM
+from ..sim import Simulator, StatSet, Store
+from ..sim.trace import emit
+from .designs import MLP, DesignParams
+from .fetch_unit import FetchUnitPool
+from .geometry import TableGeometry
+from .monitor_bypass import MonitorBypass
+from .reorg_buffer import DEFAULT_DATA_CAPACITY, ReorganizationBuffer
+from .requestor import Requestor
+from .trapper import Trapper
+
+
+class _FetchSession:
+    """One window's fetch pipeline: cancellable, with a write-address bias."""
+
+    __slots__ = ("cancelled", "w_bias")
+
+    def __init__(self, w_bias: int = 0):
+        self.cancelled = False
+        self.w_bias = w_bias
+
+
+class RMEngine:
+    """The full engine: Trapper, Monitor Bypass, Requestor, Fetch Units,
+    Reorganization Buffer, configuration port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: PlatformConfig,
+        dram: DRAM,
+        design: DesignParams = MLP,
+        buffer_capacity: int = DEFAULT_DATA_CAPACITY,
+        name: str = "rme",
+    ):
+        platform.validate()
+        self.sim = sim
+        self.platform = platform
+        self.dram = dram
+        self.design = design
+        self.name = name
+        self.stats = StatSet(name)
+        self.buffer = ReorganizationBuffer(
+            buffer_capacity, platform.cache_line, f"{name}-buffer"
+        )
+        self.monitor = MonitorBypass(sim, self.buffer, f"{name}-monitor")
+        self.trapper = Trapper(sim, platform, self.monitor, self.buffer, f"{name}-trapper")
+        self.fetch_pool = FetchUnitPool(
+            sim, platform, dram, self.monitor, design, f"{name}-fetch"
+        )
+        self.monitor.activation_hook = self._start_current_window
+        self.geometry: Optional[TableGeometry] = None
+        self.ephemeral_base: Optional[int] = None
+        self.requestor: Optional[Requestor] = None
+        # Windowed-projection state (projections larger than the buffer).
+        self._projected_total = 0
+        self._windowed = False
+        self._window_bytes = 0
+        self._window_rows = 0
+        self._n_windows = 1
+        self._current_window = 0
+        self._session: Optional[_FetchSession] = None
+        # Pushdown state (selection commit stage / aggregation accumulator).
+        self._pushdown = None
+        self._pd_pending: dict = {}
+        self._pd_next_row = 0
+        self._pd_cursor = 0
+        self._pd_matches = 0
+        self._pd_accumulator = None
+        self._pd_finalized = False
+
+    # -- configuration port -------------------------------------------------------
+    def configure(
+        self,
+        config,
+        table_base: int,
+        ephemeral_base: int,
+        read_limit: Optional[int] = None,
+        windowed: bool = False,
+        pushdown=None,
+    ):
+        """Latch a new geometry; the buffer goes cold.
+
+        ``config`` is a Table-1 :class:`repro.config.RMEConfig` (one
+        contiguous run) or a :class:`repro.rme.multirun.MultiRMEConfig`
+        (the non-contiguous extension). ``read_limit`` clips bus-aligned
+        bursts so they never read past the table's mapped region (defaults
+        to the table's exact end). ``windowed=True`` allows projections
+        larger than the buffer, processed window by window. ``pushdown``
+        is an optional :class:`~repro.rme.pushdown.HWSelection` or
+        :class:`~repro.rme.pushdown.HWAggregation` evaluated in the PL.
+        """
+        from .multirun import MultiRMEConfig, MultiRunTableGeometry
+        from .pushdown import HWAggregation, HWGroupBy, ROW_FILTERS
+
+        config.validate()
+        if isinstance(config, MultiRMEConfig):
+            if pushdown is not None:
+                raise ConfigurationError(
+                    "pushdown requires a single-run column group"
+                )
+            geometry = MultiRunTableGeometry(
+                config, table_base, self.platform.axi_bus_bytes
+            )
+        else:
+            geometry = TableGeometry(config, table_base, self.platform.axi_bus_bytes)
+        reductions = (HWAggregation, HWGroupBy)
+        if pushdown is not None:
+            if windowed:
+                raise ConfigurationError(
+                    "pushdown and windowed projections are mutually exclusive"
+                )
+            if not isinstance(pushdown, ROW_FILTERS + reductions):
+                raise ConfigurationError(
+                    "pushdown must be a row filter (HWSelection/HWJoinFilter) "
+                    f"or a reduction (HWAggregation/HWGroupBy), "
+                    f"got {type(pushdown).__name__}"
+                )
+            pushdown.validate(config.col_width)
+        self._cancel_session()
+        self._plan_windows(config, windowed)
+        self._pushdown = pushdown
+        self._reset_pushdown_state()
+        if isinstance(pushdown, reductions):
+            # The CPU only ever reads the result-register line(s).
+            self._projected_total = pushdown.result_buffer_bytes
+            self.buffer.reset(pushdown.result_buffer_bytes)
+        else:
+            self.buffer.reset(self._window_size(0))
+        self.monitor.reconfigure()
+        self.geometry = geometry
+        self.ephemeral_base = ephemeral_base
+        self.fetch_pool.read_limit = (
+            read_limit if read_limit is not None else table_base + config.base_bytes
+        )
+        self.requestor = None
+        self.stats.bump("configurations")
+        emit(
+            self.sim, "rme", "configure",
+            rows=config.row_count, width=config.col_width,
+            windows=self._n_windows,
+        )
+        return geometry
+
+    def _plan_windows(self, config, windowed: bool) -> None:
+        """Lay the projection out in buffer-sized windows.
+
+        A window holds a whole number of packed rows *and* a whole number
+        of cache lines, so both row and line indices split cleanly at the
+        boundary: window rows are a multiple of ``lcm(C, line) / C``.
+        """
+        projected = config.projected_bytes
+        self._projected_total = projected
+        self._windowed = False
+        self._window_bytes = projected
+        self._window_rows = config.row_count
+        self._n_windows = 1
+        self._current_window = 0
+        if projected <= self.buffer.capacity or not windowed:
+            # Oversized non-windowed projections fall through to
+            # ReorganizationBuffer.reset's CapacityError and its message.
+            return
+        line = self.platform.cache_line
+        width = config.col_width
+        chunk_rows = math.lcm(width, line) // width
+        chunk_bytes = chunk_rows * width
+        chunks_per_window = self.buffer.capacity // chunk_bytes
+        if chunks_per_window < 1:
+            raise ConfigurationError(
+                f"column group of {width} bytes cannot form even one "
+                f"line-aligned window inside the {self.buffer.capacity}-byte "
+                "buffer"
+            )
+        self._windowed = True
+        self._window_rows = chunks_per_window * chunk_rows
+        self._window_bytes = self._window_rows * width
+        self._n_windows = -(-projected // self._window_bytes)
+
+    def _window_size(self, window: int) -> int:
+        """Valid bytes of window ``window`` (the last one may be partial)."""
+        if not self._windowed:
+            return self._projected_total
+        remaining = self._projected_total - window * self._window_bytes
+        return min(self._window_bytes, remaining)
+
+    @property
+    def configured(self) -> bool:
+        return self.geometry is not None
+
+    @property
+    def windowed(self) -> bool:
+        return self._windowed
+
+    @property
+    def n_windows(self) -> int:
+        return self._n_windows
+
+    @property
+    def is_hot(self) -> bool:
+        """True when the whole packed projection sits in the buffer.
+
+        A windowed projection is never globally hot: by construction it
+        does not fit, and every pass repays the window refills.
+        """
+        if not self.configured or self._windowed:
+            return False
+        return self.buffer.ready_lines == self.buffer.n_lines
+
+    # -- fetch pipeline ------------------------------------------------------------
+    def _cancel_session(self) -> None:
+        if self._session is not None:
+            self._session.cancelled = True
+            self._session = None
+
+    def _reset_pushdown_state(self) -> None:
+        self._pd_pending = {}
+        self._pd_next_row = 0
+        self._pd_cursor = 0
+        self._pd_matches = 0
+        self._pd_finalized = False
+        self._pd_accumulator = (
+            self._pushdown.make_accumulator()
+            if hasattr(self._pushdown, "make_accumulator")
+            else None
+        )
+
+    def _start_current_window(self) -> None:
+        """Activation hook: launch the fetch pipeline for the current
+        window (the whole projection when not windowed)."""
+        if self.geometry is None:
+            raise ConfigurationError("RME accessed before configuration")
+        window = self._current_window
+        session = _FetchSession(
+            w_bias=window * self._window_bytes if self._windowed else 0
+        )
+        self._session = session
+        dispatch = Store(self.sim, f"{self.name}-dispatch")
+        workers = self.design.outstanding_txns
+        self.requestor = Requestor(
+            self.sim, self.platform, dispatch, workers, f"{self.name}-requestor"
+        )
+        if self._windowed:
+            first = window * self._window_rows
+            rows = range(first, min(self.geometry.row_count,
+                                    first + self._window_rows))
+        else:
+            rows = None
+        self.sim.process(
+            self.requestor.run(
+                self.geometry, rows, should_stop=lambda: session.cancelled
+            ),
+            name="requestor",
+        )
+        self.fetch_pool.result_sink = (
+            self._pushdown_sink if self._pushdown is not None else None
+        )
+        worker_procs = []
+        for index in range(workers):
+            worker_procs.append(
+                self.sim.process(
+                    self.fetch_pool.worker(dispatch, self.requestor, session),
+                    name=f"fetch-{index}",
+                )
+            )
+        if self._pushdown is not None:
+            self.sim.process(
+                self._pushdown_supervisor(worker_procs, session),
+                name="pushdown-supervisor",
+            )
+        self.stats.bump("pipeline_starts")
+        emit(self.sim, "rme", "pipeline_start", window=window, workers=workers)
+
+    # -- pushdown (selection / aggregation in the PL) ----------------------------------
+    def _pushdown_sink(self, descriptor, useful: bytes, session):
+        """Comparator + commit stage: a process invoked per extracted row.
+
+        Results are committed strictly in row order so the packed output
+        is deterministic even with 16 out-of-order fetch units — the
+        hardware analogue is a small reorder buffer in front of the
+        Writer.
+        """
+        cfg = self.platform
+        # The comparator/accumulator adds one PL cycle of work per row.
+        yield self.sim.timeout(cfg.pl_cycles(1.0))
+        if session is not None and session.cancelled:
+            return None
+        if self._pd_accumulator is not None:
+            self._pd_accumulator.feed(useful)
+            self.stats.bump("pd_rows_seen")
+            return None
+        self._pd_pending[descriptor.row] = useful
+        while self._pd_next_row in self._pd_pending:
+            row_bytes = self._pd_pending.pop(self._pd_next_row)
+            self._pd_next_row += 1
+            self.stats.bump("pd_rows_seen")
+            if not self._pushdown.matches(row_bytes):
+                continue
+            offset = self._pd_cursor
+            self._pd_cursor += len(row_bytes)
+            self._pd_matches += 1
+            cost = self.fetch_pool._write_port_cost(len(row_bytes))
+            yield from self.monitor.write(offset, row_bytes, cost, session)
+        return None
+
+    def _pushdown_supervisor(self, worker_procs, session):
+        """Waits for the fetch stream to drain, then finalises the result."""
+        yield self.sim.all_of(worker_procs)
+        if session.cancelled or self._pd_finalized:
+            return None
+        self._pd_finalized = True
+        if self._pd_accumulator is not None:
+            payload = self._pd_accumulator.register_payload()
+            if payload:
+                self.monitor.complete_now(0, payload)
+            self.monitor.finalize(len(payload))
+            emit(self.sim, "rme", "aggregate_ready",
+                 count=self._pd_accumulator.count, bytes=len(payload))
+        else:
+            self.monitor.finalize(self._pd_cursor)
+            emit(self.sim, "rme", "selection_done",
+                 matches=self._pd_matches, bytes=self._pd_cursor)
+        self.stats.bump("pushdown_finalized")
+        return None
+
+    # -- pushdown results ------------------------------------------------------------
+    @property
+    def pushdown_done(self) -> bool:
+        return self._pd_finalized
+
+    @property
+    def match_count(self) -> int:
+        """Rows that passed the PL selection (valid once finalised)."""
+        if not self._pd_finalized:
+            raise ConfigurationError("selection stream not finalised yet")
+        return self._pd_matches
+
+    def aggregate_result(self) -> int:
+        """The PL aggregation result (valid once finalised)."""
+        if not self._pd_finalized or self._pd_accumulator is None:
+            raise ConfigurationError("no finalised PL aggregation")
+        return self._pd_accumulator.result()
+
+    def _switch_window(self, window: int):
+        """A process: re-initialise the buffer for another window."""
+        self.stats.bump("window_switches")
+        emit(self.sim, "rme", "window_switch",
+             from_window=self._current_window, to_window=window)
+        self._cancel_session()
+        yield self.sim.timeout(self.platform.window_reinit_ns)
+        self.buffer.reset(self._window_size(window))
+        self.monitor.invalidate_waiters()
+        self._current_window = window
+        self._start_current_window()
+        return None
+
+    def prefill(self) -> None:
+        """Kick the fetch pipeline without a CPU access (testing/warm-up).
+
+        The caller must run the simulator afterwards; once it drains, the
+        current window (the whole projection when not windowed) is filled.
+        """
+        self.monitor.notice_access()
+        if self.monitor.activated and self._session is None:
+            self._start_current_window()
+
+    # -- CPU-facing line port (hierarchy backend protocol) ---------------------------
+    def read_line(self, line_base: int, source: str = "cpu"):
+        """A process serving one trapped cache-line read."""
+        if self.geometry is None or self.ephemeral_base is None:
+            raise ConfigurationError("RME accessed before configuration")
+        offset = line_base - self.ephemeral_base
+        if offset < 0 or offset % self.platform.cache_line:
+            raise MemoryMapError(
+                f"trapped address {line_base:#x} is not a line in the "
+                "ephemeral region"
+            )
+        line = self.platform.cache_line
+        line_idx = offset // line
+        if line_idx * line >= self._projected_total:
+            raise MemoryMapError(
+                f"trapped line {line_idx} beyond the projection"
+            )
+        self.stats.bump("reads_" + source)
+        return self._serve_line(line_idx, source)
+
+    def _serve_line(self, line_idx: int, source: str):
+        """The window-aware service loop around the Trapper."""
+        from ..memsys.hierarchy import DECLINED
+
+        line = self.platform.cache_line
+        if not self._windowed:
+            result = yield from self.trapper.read_line(line_idx)
+            return result
+        lines_per_window = self._window_bytes // line
+        while True:
+            window = line_idx // lines_per_window
+            if window == self._current_window:
+                rel_line = line_idx - window * lines_per_window
+                result = yield from self.trapper.read_line(rel_line)
+                if result is not None and window == self._current_window:
+                    return result
+                if source != "cpu":
+                    # A prefetch that went stale across a switch: decline
+                    # rather than chase the window.
+                    self.stats.bump("prefetch_abandoned")
+                    return DECLINED
+                # Stale demand wake: the window moved underneath us; retry.
+            elif source == "cpu":
+                yield from self._switch_window(window)
+            else:
+                # A prefetch running ahead into a window that is not
+                # resident: refuse the fill. Only demand accesses trigger
+                # the costly re-initialisation, and the cache must not be
+                # filled with bytes the engine never produced.
+                self.stats.bump("prefetch_abandoned")
+                return DECLINED
+
+    # -- functional verification ---------------------------------------------------
+    def packed_bytes(self) -> bytes:
+        """The packed projection the engine produced (buffer must be hot)."""
+        return self.buffer.snapshot()

@@ -1,0 +1,135 @@
+"""Fetch Units: Reader -> Column Extractor -> Writer (Figure 5).
+
+A Fetch Unit retrieves one descriptor's worth of data from main memory and
+steers the useful bytes into the Reorganization Buffer:
+
+* the **Reader** issues a variable-burst AXI read towards the DRAM
+  controller (through the PL-side HP port, which adds a substantial fixed
+  latency — the PLIM cost the paper discusses);
+* the **Column Extractor** discards the descriptor's leading/trailing
+  bytes and packs the column bytes contiguously;
+* the **Writer** pushes the packed bytes through the Monitor Bypass into
+  the buffer — per chunk in the baseline, per packed line with the Packer
+  register (PCK/MLP).
+
+The design revision determines how many Fetch Unit workers run
+concurrently (= outstanding DRAM transactions) and whether the worker
+stalls on its write acknowledgement.
+"""
+
+from __future__ import annotations
+
+from ..config import PlatformConfig
+from ..memsys.dram import DRAM
+from ..sim import Simulator, StatSet, Store
+from .designs import DesignParams
+from .monitor_bypass import MonitorBypass
+from .requestor import STOP, Requestor
+
+
+class FetchUnitPool:
+    """The design's worker processes plus their shared issue port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: PlatformConfig,
+        dram: DRAM,
+        monitor: MonitorBypass,
+        design: DesignParams,
+        name: str = "fetch",
+    ):
+        self.sim = sim
+        self.platform = platform
+        self.dram = dram
+        self.monitor = monitor
+        self.design = design
+        self.stats = StatSet(name)
+        #: The single PL->DRAM issue port all workers share; modelled as a
+        #: reservation so back-to-back issues serialise.
+        self._issue_port_free_at: float = 0.0
+        #: Region end: reads are clipped so aligned bursts never run off the
+        #: end of the table's mapped region.
+        self.read_limit: int = 0
+        #: Optional pushdown sink: when set, extracted rows are handed to
+        #: ``result_sink(descriptor, useful_bytes, session)`` (a process)
+        #: instead of being written straight to the buffer.
+        self.result_sink = None
+
+    # -- timing helpers ------------------------------------------------------------
+    def _reserve_issue_port(self) -> float:
+        cost = self.platform.pl_cycles(self.platform.pl_dram_issue_cycles)
+        start = max(self.sim.now, self._issue_port_free_at)
+        self._issue_port_free_at = start + cost
+        return (start + cost) - self.sim.now
+
+    def _write_port_cost(self, extracted_bytes: int) -> float:
+        cfg = self.platform
+        if self.design.packer:
+            # One wide BRAM write per packed line, amortised per descriptor.
+            fraction = extracted_bytes / cfg.cache_line
+            return cfg.pl_cycles(cfg.packer_line_write_cycles) * min(1.0, fraction)
+        return cfg.pl_cycles(cfg.monitor_write_cycles)
+
+    # -- the worker process -----------------------------------------------------------
+    def worker(self, dispatch: Store, requestor: Requestor, session=None):
+        """One Fetch Unit: loop on descriptors until the STOP sentinel.
+
+        ``session`` (windowed mode) carries a ``cancelled`` flag checked
+        before every buffer write — a cancelled window's in-flight data is
+        dropped on the floor, like a real engine abandoning a DMA — and a
+        ``w_bias`` subtracted from descriptor write addresses so buffer
+        offsets are window-relative.
+        """
+        cfg = self.platform
+        travel = cfg.pl_dram_latency_ns / 2.0
+        while True:
+            descriptor = yield dispatch.get()
+            if descriptor is STOP:
+                return None
+            if session is not None and session.cancelled:
+                requestor.retire()
+                continue
+            # Reader: occupy the issue port, then the long PL->DRAM path.
+            yield self.sim.timeout(self._reserve_issue_port())
+            yield self.sim.timeout(travel)
+            read_bytes = min(descriptor.read_bytes, self.read_limit - descriptor.r_addr)
+            payload = yield from self.dram.access(
+                descriptor.r_addr, read_bytes, source="rme"
+            )
+            yield self.sim.timeout(travel)
+            # Column Extractor: one cycle, plus one per extra beat it must
+            # accumulate before the output is valid.
+            extract_cycles = cfg.extractor_cycles + (descriptor.burst - 1)
+            yield self.sim.timeout(cfg.pl_cycles(extract_cycles))
+            useful = descriptor.extract(payload)
+            self.stats.bump("descriptors")
+            self.stats.bump("bytes_fetched", read_bytes)
+            self.stats.bump("bytes_useful", len(useful))
+            if session is not None and session.cancelled:
+                self.stats.bump("bytes_dropped", len(useful))
+                requestor.retire()
+                continue
+            if self.result_sink is not None:
+                yield from self.result_sink(descriptor, useful, session)
+                requestor.retire()
+                continue
+            w_addr = descriptor.w_addr - (session.w_bias if session else 0)
+            # Writer: through the Monitor Bypass to the buffer.
+            write = self.monitor.write(
+                w_addr, useful, self._write_port_cost(len(useful)), session
+            )
+            if self.design.serial_write:
+                yield from write
+            else:
+                self.sim.process(write, name="writer")
+            requestor.retire()
+
+    # -- introspection -------------------------------------------------------------------
+    @property
+    def wasted_fraction(self) -> float:
+        """Fraction of fetched bytes the extractor discarded."""
+        fetched = self.stats.total("bytes_fetched")
+        if not fetched:
+            return 0.0
+        return 1.0 - self.stats.total("bytes_useful") / fetched

@@ -1,0 +1,134 @@
+"""Table geometry and the Requestor's descriptor equations.
+
+This module is the arithmetic heart of the RME: given the four
+configuration registers of Table 1 — row size ``R``, row count ``N``,
+column-group width ``C_An`` and row offset ``O_An`` — it produces, for each
+row ``i``, the request descriptor of Section 5 ("Requestor"):
+
+.. math::
+
+    P_i       &= R \\cdot i + O_{A_n}                     &\\text{(1)} \\\\
+    R_i^{addr} &= (P_i // B_w) \\cdot B_w                  &\\text{(2)} \\\\
+    R_i^{burst} &= \\lceil ((P_i \\% B_w) + C_{A_n}) / B_w \\rceil &\\text{(3)} \\\\
+    W_i^{addr} &= C_{A_n} \\cdot i                          &\\text{(4)} \\\\
+    E_i^s     &= P_i \\% B_w                               &\\text{(5)} \\\\
+    E_i^e     &= (P_i + C_{A_n}) \\% B_w                    &\\text{(6)}
+
+where ``B_w`` is the platform bus width. Descriptors are always
+bus-aligned and use variable burst lengths so the engine "never fetches
+more data than strictly needed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config import RMEConfig
+from ..errors import GeometryError
+from .descriptors import RequestDescriptor
+
+
+@dataclass(frozen=True)
+class TableGeometry:
+    """A configured view: an RMEConfig bound to a base address and bus width.
+
+    ``base_addr`` is the main-memory address of row 0 of the row-oriented
+    table; ``bus_bytes`` the width of one bus beat (16 bytes on the
+    ZCU102's PL-side memory port).
+    """
+
+    config: RMEConfig
+    base_addr: int
+    bus_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        if self.base_addr < 0:
+            raise GeometryError("table base address must be non-negative")
+        if self.bus_bytes <= 0 or self.bus_bytes & (self.bus_bytes - 1):
+            raise GeometryError("bus width must be a positive power of two")
+        if self.base_addr % self.bus_bytes:
+            raise GeometryError(
+                f"table base {self.base_addr:#x} must be bus-aligned "
+                f"({self.bus_bytes} bytes)"
+            )
+
+    # -- shorthand accessors -----------------------------------------------------
+    @property
+    def row_size(self) -> int:
+        return self.config.row_size
+
+    @property
+    def row_count(self) -> int:
+        return self.config.row_count
+
+    @property
+    def col_width(self) -> int:
+        return self.config.col_width
+
+    @property
+    def col_offset(self) -> int:
+        return self.config.col_offset
+
+    @property
+    def projected_bytes(self) -> int:
+        return self.config.projected_bytes
+
+    # -- the paper's equations -----------------------------------------------------
+    def useful_start(self, row: int) -> int:
+        """Eq. (1): absolute position P_i of row ``i``'s useful bytes."""
+        self._check_row(row)
+        return self.base_addr + self.row_size * row + self.col_offset
+
+    def descriptor(self, row: int) -> RequestDescriptor:
+        """Eqs. (2)-(6): the request descriptor for row ``i``."""
+        bw = self.bus_bytes
+        p = self.useful_start(row)
+        r_addr = (p // bw) * bw
+        burst = -(-((p % bw) + self.col_width) // bw)
+        w_addr = self.col_width * row
+        lead = p % bw
+        trail = (p + self.col_width) % bw
+        return RequestDescriptor(
+            row=row,
+            r_addr=r_addr,
+            burst=burst,
+            w_addr=w_addr,
+            lead_skip=lead,
+            trail_cut=trail,
+            col_width=self.col_width,
+            bus_bytes=bw,
+        )
+
+    def descriptors(self, rows: "range" = None) -> Iterator[RequestDescriptor]:
+        """Descriptors in row order — the Requestor's output stream.
+
+        ``rows`` restricts generation to a row window (used by the
+        windowed large-projection mode); defaults to all N rows.
+        """
+        for row in rows if rows is not None else range(self.row_count):
+            yield self.descriptor(row)
+
+    # -- helpers ----------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.row_count:
+            raise GeometryError(
+                f"row {row} out of range [0, {self.row_count})"
+            )
+
+    def packed_line_count(self, line_size: int = 64) -> int:
+        """Number of cache lines in the packed column-group output."""
+        return -(-self.projected_bytes // line_size)
+
+    def rows_touching_line(self, line_idx: int, line_size: int = 64) -> range:
+        """Rows whose extracted bytes land (at least partly) in packed line
+        ``line_idx`` — the Monitor Bypass uses this to know when a line is
+        complete."""
+        start_byte = line_idx * line_size
+        end_byte = min(start_byte + line_size, self.projected_bytes)
+        if start_byte >= self.projected_bytes:
+            raise GeometryError(f"packed line {line_idx} beyond the projection")
+        first_row = start_byte // self.col_width
+        last_row = (end_byte - 1) // self.col_width
+        return range(first_row, last_row + 1)

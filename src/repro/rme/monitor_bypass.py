@@ -1,0 +1,132 @@
+"""The Monitor Bypass: central bookkeeping of the RME (Figure 5).
+
+Responsibilities, per the paper:
+
+(i) answer the Trapper's "is this packed line ready?" queries;
+(ii) collect data coming from the Fetch Units and forward it to the
+     Reorganization Buffer, updating the metadata SPM;
+(iii) recognise when a write completes a packed cache line and wake any
+      stalled request waiting on it;
+(iv) activate the Requestor on the first access after a reconfiguration.
+
+All writes funnel through one write port; its occupancy is modelled with a
+bus-style reservation so concurrent Fetch Units serialise exactly where
+the hardware would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim import Event, Simulator, StatSet
+from .reorg_buffer import ReorganizationBuffer
+
+
+class MonitorBypass:
+    """Metadata bookkeeping plus the shared reorganization-buffer write port."""
+
+    def __init__(self, sim: Simulator, buffer: ReorganizationBuffer, name: str = "monitor"):
+        self.sim = sim
+        self.buffer = buffer
+        self.stats = StatSet(name)
+        self._waiters: Dict[int, List[Event]] = {}
+        self._write_port_free_at: float = 0.0
+        #: Invoked on the first trapped access after a reconfiguration —
+        #: the engine installs a callback that starts the Requestor.
+        self.activation_hook: Optional[Callable[[], None]] = None
+        self._activated = False
+
+    # -- configuration lifecycle -------------------------------------------------
+    def reconfigure(self) -> None:
+        """Forget all completion state (new geometry loaded)."""
+        for waiters in self._waiters.values():
+            if waiters:
+                raise RuntimeError("reconfigured while requests were stalled")
+        self._waiters.clear()
+        self._write_port_free_at = 0.0
+        self._activated = False
+
+    def notice_access(self) -> None:
+        """Called by the Trapper on every trapped request; first one after a
+        reconfiguration activates the Requestor."""
+        if not self._activated:
+            self._activated = True
+            self.stats.bump("activations")
+            if self.activation_hook is not None:
+                self.activation_hook()
+
+    @property
+    def activated(self) -> bool:
+        return self._activated
+
+    # -- Trapper-facing side -------------------------------------------------------
+    def line_ready(self, line_idx: int) -> bool:
+        ready = self.buffer.line_ready(line_idx)
+        self.stats.bump("lookups_hit" if ready else "lookups_miss")
+        return ready
+
+    def wait_line(self, line_idx: int) -> Event:
+        """An event firing when packed line ``line_idx`` completes."""
+        event = self.sim.event()
+        if self.buffer.line_ready(line_idx):
+            event.succeed()
+            return event
+        self._waiters.setdefault(line_idx, []).append(event)
+        self.stats.bump("stalled_requests")
+        return event
+
+    # -- Fetch-Unit-facing side -------------------------------------------------------
+    def write(self, offset: int, data: bytes, port_cycles_ns: float,
+              session=None):
+        """A process: push extracted bytes through the write port.
+
+        ``port_cycles_ns`` is how long this write occupies the port (the
+        per-chunk handshake for BSL, the amortised packed-line cost for the
+        packer designs). Completion events for finished lines fire when the
+        write retires. A write whose ``session`` was cancelled while it
+        waited for the port is dropped (windowed-mode reconfiguration).
+        """
+        start = max(self.sim.now, self._write_port_free_at)
+        end = start + port_cycles_ns
+        self._write_port_free_at = end
+        self.stats.bump("writes")
+        self.stats.bump("write_port_busy_ns", port_cycles_ns)
+        yield self.sim.timeout(end - self.sim.now)
+        if session is not None and session.cancelled:
+            self.stats.bump("writes_dropped")
+            return []
+        completed = self.buffer.write(offset, data)
+        for line_idx in completed:
+            self.stats.bump("lines_completed")
+            for event in self._waiters.pop(line_idx, []):
+                event.succeed()
+        return completed
+
+    def complete_now(self, offset: int, data: bytes) -> None:
+        """Deposit bytes instantly (the engine's end-of-stream register
+        write during pushdown finalisation) and wake completed waiters."""
+        for line_idx in self.buffer.write(offset, data):
+            self.stats.bump("lines_completed")
+            for event in self._waiters.pop(line_idx, []):
+                event.succeed()
+
+    def finalize(self, valid_bytes: int) -> None:
+        """Truncate the projection (selection pushdown end-of-stream) and
+        wake every request whose line just became complete."""
+        for line_idx in self.buffer.truncate(valid_bytes):
+            self.stats.bump("lines_completed")
+            for event in self._waiters.pop(line_idx, []):
+                event.succeed()
+
+    def invalidate_waiters(self) -> None:
+        """Wake every stalled request with a *stale* completion.
+
+        Used when a window switch resets the buffer underneath pending
+        requests: the woken requester re-checks readiness and retries
+        against the new window state.
+        """
+        waiters, self._waiters = self._waiters, {}
+        for events in waiters.values():
+            for event in events:
+                self.stats.bump("stale_wakes")
+                event.succeed("stale")

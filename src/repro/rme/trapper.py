@@ -1,0 +1,93 @@
+"""The Trapper: the RME's CPU-facing front door (Figure 5).
+
+Every CPU-originated read targeting an ephemeral variable arrives here as
+an AXI ``{A, ID}`` request. The Trapper queues it, asks the Monitor Bypass
+whether the packed cache line is ready (Reorganization Buffer hit) or not
+(miss), stalls the request until the Fetch Units complete the line when
+necessary, and finally forms the ``{ID, RD}`` response.
+
+Timing: a trapped request pays the clock-domain crossing into the 100 MHz
+PL, the trap/lookup cycles, a BRAM read, the beats to stream the line back
+over the PS-PL port (which serialise across concurrent requests), and the
+crossing back. This is why single-access latency through the PL is *worse*
+than DRAM even though whole-query behaviour is better.
+"""
+
+from __future__ import annotations
+
+from ..config import PlatformConfig
+from ..memsys.cdc import ClockDomain
+from ..sim import Simulator, StatSet
+from ..sim.trace import emit
+from .monitor_bypass import MonitorBypass
+from .reorg_buffer import ReorganizationBuffer
+
+
+class Trapper:
+    """Traps ephemeral-address reads and answers them from the buffer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: PlatformConfig,
+        monitor: MonitorBypass,
+        buffer: ReorganizationBuffer,
+        name: str = "trapper",
+    ):
+        self.sim = sim
+        self.platform = platform
+        self.monitor = monitor
+        self.buffer = buffer
+        self.stats = StatSet(name)
+        self.pl_clock = ClockDomain("pl", platform.pl_freq_mhz)
+        self._response_port_free_at: float = 0.0
+
+    def read_line(self, line_idx: int):
+        """A process serving one trapped cache-line read; returns the bytes."""
+        cfg = self.platform
+        self.stats.bump("requests")
+        self.monitor.notice_access()
+
+        # Cross into the PL domain (synchroniser + edge alignment).
+        yield self.sim.timeout(
+            self.pl_clock.crossing_delay(self.sim.now, cfg.cdc_pl_cycles)
+        )
+        # Trap + metadata lookup.
+        yield self.sim.timeout(cfg.pl_cycles(cfg.pl_txn_overhead_cycles))
+
+        if self.monitor.line_ready(line_idx):
+            self.stats.bump("buffer_hits")
+            emit(self.sim, "trapper", "buffer_hit", line=line_idx)
+        else:
+            self.stats.bump("buffer_misses")
+            emit(self.sim, "trapper", "buffer_miss", line=line_idx)
+            yield self.monitor.wait_line(line_idx)
+            if not self.monitor.line_ready(line_idx):
+                # Stale wake: the buffer was re-initialised (windowed mode)
+                # while this request stalled. The caller retries against
+                # the new window state.
+                self.stats.bump("stale_retries")
+                emit(self.sim, "trapper", "stale_retry", line=line_idx)
+                return None
+
+        # BRAM read, then stream the line back over the PS-PL port. The
+        # response port is shared: concurrent responses serialise beat-wise.
+        yield self.sim.timeout(cfg.pl_cycles(cfg.bram_read_cycles))
+        beats = -(-self.buffer.line_size // cfg.axi_bus_bytes)
+        transfer = self.pl_clock.cycles(beats)
+        start = max(self.sim.now, self._response_port_free_at)
+        end = start + transfer
+        self._response_port_free_at = end
+        self.stats.bump("response_beats", beats)
+        yield self.sim.timeout(end - self.sim.now)
+
+        # Cross back into the PS domain.
+        yield self.sim.timeout(cfg.cdc_ns)
+        return self.buffer.read_line(line_idx)
+
+    @property
+    def hit_rate(self) -> float:
+        requests = self.stats.count("buffer_hits") + self.stats.count("buffer_misses")
+        if not requests:
+            return 0.0
+        return self.stats.count("buffer_hits") / requests

@@ -1,0 +1,37 @@
+"""A small generator-based discrete-event simulation kernel.
+
+The hardware models in :mod:`repro.memsys` and :mod:`repro.rme` are written
+as cooperating *processes*: Python generators that yield the things they
+wait for (a delay, an event, another process). The kernel advances a global
+clock in nanoseconds and runs callbacks in timestamp order.
+
+The public surface:
+
+* :class:`Simulator` — the event loop and clock.
+* :class:`Event` — a one-shot occurrence processes can wait on.
+* :class:`Process` — a running generator; itself an event that fires when
+  the generator returns.
+* :class:`Resource` — a counted semaphore (e.g. outstanding-transaction
+  slots, fetch-unit pool).
+* :class:`Store` — an unbounded FIFO queue for passing items between
+  processes (e.g. request descriptors).
+* :class:`Counter`, :class:`StatSet` — cheap statistics counters.
+"""
+
+from .engine import Event, Process, Simulator, Timeout
+from .resources import Resource, Store
+from .stats import Counter, StatSet
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Store",
+    "Counter",
+    "StatSet",
+    "Tracer",
+    "TraceRecord",
+]

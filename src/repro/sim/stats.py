@@ -1,0 +1,86 @@
+"""Lightweight statistics counters shared by all hardware models.
+
+Every component keeps a :class:`StatSet`; the top-level system gathers them
+into the experiment reports (cache requests/misses for Figure 7, DRAM row
+hit rates for the ablation benchmarks, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A named monotonic counter with an optional accumulated value.
+
+    ``count`` is the number of increments; ``total`` accumulates the values
+    passed to :meth:`add` (e.g. bytes transferred, ns of busy time).
+    """
+
+    __slots__ = ("name", "count", "total")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float = 1.0) -> None:
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Average accumulated value per increment (0 when never hit)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}: count={self.count}, total={self.total:.1f})"
+
+
+class StatSet:
+    """A named bag of counters, created lazily on first use."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def bump(self, name: str, value: float = 1.0) -> None:
+        """Shorthand for ``stat.counter(name).add(value)``."""
+        self.counter(name).add(value)
+
+    def count(self, name: str) -> int:
+        """Current count of ``name`` (0 if never bumped)."""
+        counter = self._counters.get(name)
+        return counter.count if counter else 0
+
+    def total(self, name: str) -> float:
+        counter = self._counters.get(name)
+        return counter.total if counter else 0.0
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of all counters, suitable for reports and assertions."""
+        return {
+            name: {"count": c.count, "total": c.total}
+            for name, c in sorted(self._counters.items())
+        }
+
+    def __iter__(self) -> Iterator[Tuple[str, Counter]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{n}={c.count}" for n, c in self)
+        return f"StatSet({self.owner}: {inner})"

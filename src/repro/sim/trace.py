@@ -1,0 +1,94 @@
+"""Optional event tracing for the simulated hardware.
+
+Attach a :class:`Tracer` to a simulator (``sim.tracer = Tracer()``) and
+the RME components log their externally visible events — configuration,
+pipeline starts, trapper hits/misses/stalls, packed-line completions,
+window switches — with timestamps. Tracing is off by default and costs a
+single attribute check per hook when disabled.
+
+Typical debugging session::
+
+    system = RelationalMemorySystem()
+    system.sim.tracer = Tracer()
+    ... run a query ...
+    print(system.sim.tracer.render(limit=40))
+    misses = system.sim.tracer.filter(event="buffer_miss")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped component event."""
+
+    time: float
+    component: str
+    event: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"{self.time:12.1f}ns  {self.component:<16} {self.event:<20} {extras}"
+
+
+class Tracer:
+    """A bounded in-memory event log."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity <= 0:
+            raise SimulationError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time: float, component: str, event: str, **details) -> None:
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, component, event, details))
+
+    # -- querying -----------------------------------------------------------------
+    def filter(
+        self,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+        since: float = 0.0,
+    ) -> List[TraceRecord]:
+        return [
+            r for r in self.records
+            if (component is None or r.component == component)
+            and (event is None or r.event == event)
+            and r.time >= since
+        ]
+
+    def count(self, event: str) -> int:
+        return sum(1 for r in self.records if r.event == event)
+
+    def render(self, limit: int = 50, **filters) -> str:
+        """The trace (optionally filtered) as aligned text, newest last."""
+        records = self.filter(**filters) if filters else self.records
+        shown = records[-limit:]
+        header = f"-- trace: {len(records)} records" + (
+            f" (showing last {limit})" if len(records) > limit else ""
+        ) + (f", {self.dropped} dropped" if self.dropped else "")
+        return "\n".join([header] + [r.format() for r in shown])
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def emit(sim, component: str, event: str, **details) -> None:
+    """Component-side hook: record iff a tracer is attached."""
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None:
+        tracer.record(sim.now, component, event, **details)

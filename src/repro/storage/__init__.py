@@ -1,0 +1,66 @@
+"""The DBMS storage substrate.
+
+Byte-exact relational storage for the reproduction:
+
+* :mod:`repro.storage.schema` — column types, schemas, and the row codec
+  (the ``struct row`` of the paper's Listing 1).
+* :mod:`repro.storage.row_table` — the n-ary (row-store) base layout; the
+  format the RME reads from main memory.
+* :mod:`repro.storage.column_table` — a decomposition-storage-model copy,
+  used as the "Columnar Access" baseline of Figure 6.
+* :mod:`repro.storage.mvcc` — begin/end-timestamp row versioning with
+  snapshot-isolation transactions (Section 4, "Updates & MVCC
+  Transactions").
+* :mod:`repro.storage.compression` — dictionary, delta (frame of
+  reference) and run-length encodings (Section 4, "Compression").
+"""
+
+from .column_table import ColumnTable
+from .index import BPlusTreeIndex
+from .compression import (
+    DeltaEncoded,
+    DictionaryEncoded,
+    RLEEncoded,
+    delta_encode,
+    dictionary_encode,
+    rle_encode,
+)
+from .mvcc import LIVE_TS, TransactionManager, VersionedRowTable
+from .row_table import RowTable
+from .schema import (
+    Column,
+    ColumnType,
+    Schema,
+    char,
+    float64,
+    int32,
+    int64,
+    listing1_schema,
+    uint32,
+    uniform_schema,
+)
+
+__all__ = [
+    "BPlusTreeIndex",
+    "Column",
+    "ColumnType",
+    "ColumnTable",
+    "DeltaEncoded",
+    "DictionaryEncoded",
+    "LIVE_TS",
+    "RLEEncoded",
+    "RowTable",
+    "Schema",
+    "TransactionManager",
+    "VersionedRowTable",
+    "char",
+    "delta_encode",
+    "dictionary_encode",
+    "float64",
+    "int32",
+    "int64",
+    "rle_encode",
+    "uint32",
+    "uniform_schema",
+    "listing1_schema",
+]

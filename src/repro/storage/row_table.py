@@ -1,0 +1,122 @@
+"""The n-ary storage model: the row-oriented base table.
+
+This is the single physical format Relational Memory keeps in main memory
+(Section 3): an array of packed rows, ``struct row table[]``. Everything
+else — columnar copies, ephemeral column-groups — is derived from it.
+
+The table owns its bytes; :class:`repro.core.relmem.RelationalMemorySystem`
+copies them into a mapped DRAM region when the table is loaded, so the
+simulated hardware reads the same data tests can verify against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import SchemaError
+from .schema import Schema
+
+
+class RowTable:
+    """A byte-exact row-store."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._data = bytearray()
+
+    # -- shape -------------------------------------------------------------------
+    @property
+    def row_size(self) -> int:
+        return self.schema.row_size
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._data) // self.row_size
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._data)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    # -- writes -------------------------------------------------------------------
+    def append(self, values: Sequence[Any]) -> int:
+        """Append one row; returns its index."""
+        self._data.extend(self.schema.pack_row(values))
+        return self.n_rows - 1
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for values in rows:
+            self.append(values)
+
+    def update(self, row_idx: int, values: Sequence[Any]) -> None:
+        """Overwrite a row in place."""
+        start = self._slot(row_idx)
+        self._data[start : start + self.row_size] = self.schema.pack_row(values)
+
+    def update_column(self, row_idx: int, column: str, value: Any) -> None:
+        """Overwrite one field of a row in place."""
+        col = self.schema.column(column)
+        start = self._slot(row_idx) + self.schema.offset_of(column)
+        self._data[start : start + col.size] = col.ctype.pack(value)
+
+    # -- reads ---------------------------------------------------------------------
+    def row_bytes(self, row_idx: int) -> bytes:
+        start = self._slot(row_idx)
+        return bytes(self._data[start : start + self.row_size])
+
+    def row(self, row_idx: int) -> Tuple[Any, ...]:
+        return self.schema.unpack_row(self.row_bytes(row_idx))
+
+    def value(self, row_idx: int, column: str) -> Any:
+        return self.schema.unpack_column(column, self.row_bytes(row_idx))
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        for row_idx in range(self.n_rows):
+            yield self.row(row_idx)
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one column (a software full-column projection)."""
+        return [self.value(i, column) for i in range(self.n_rows)]
+
+    # -- projections (the software reference the RME must match) ---------------------
+    def project_bytes(self, columns: Sequence[str]) -> bytes:
+        """The packed column-group bytes a perfect projection produces.
+
+        Non-contiguous groups are packed run by run within each row (the
+        layout of Listing 2's ephemeral struct). This is the golden
+        reference the RME's reorganization buffer is compared against in
+        the functional tests.
+        """
+        runs = self.schema.column_runs(columns)
+        width = sum(w for _o, w in runs)
+        out = bytearray(width * self.n_rows)
+        for row_idx in range(self.n_rows):
+            slot = self._slot(row_idx)
+            cursor = row_idx * width
+            for offset, run_width in runs:
+                start = slot + offset
+                out[cursor : cursor + run_width] = self._data[start : start + run_width]
+                cursor += run_width
+        return bytes(out)
+
+    def project_values(self, columns: Sequence[str]) -> List[Tuple[Any, ...]]:
+        """Row-ordered tuples of the requested columns (any order)."""
+        indices = [self.schema.index_of(c) for c in columns]
+        return [tuple(row[i] for i in indices) for row in self.scan()]
+
+    # -- raw access for the simulator -------------------------------------------------
+    def raw_bytes(self) -> bytes:
+        return bytes(self._data)
+
+    def _slot(self, row_idx: int) -> int:
+        if not 0 <= row_idx < self.n_rows:
+            raise SchemaError(
+                f"row {row_idx} out of range [0, {self.n_rows}) in {self.name!r}"
+            )
+        return row_idx * self.row_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowTable({self.name!r}, {self.n_rows} rows x {self.row_size}B)"

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import RelationalMemorySystem, RowTable, uniform_schema
+from repro.config import ZCU102
+from repro.rme.designs import MLP
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def platform():
+    return ZCU102
+
+
+def build_relation(n_rows: int = 256, n_cols: int = 16, col_width: int = 4,
+                   seed: int = 1234, name: str = "s") -> RowTable:
+    """A small deterministic benchmark relation."""
+    table = RowTable(name, uniform_schema(n_cols, col_width))
+    rng = random.Random(seed)
+    for _ in range(n_rows):
+        table.append([rng.randint(-1000, 1000) for _ in range(n_cols)])
+    return table
+
+
+@pytest.fixture
+def relation() -> RowTable:
+    return build_relation()
+
+
+@pytest.fixture
+def system() -> RelationalMemorySystem:
+    return RelationalMemorySystem(ZCU102, MLP)
+
+
+@pytest.fixture
+def loaded(system, relation):
+    return system.load_table(relation)

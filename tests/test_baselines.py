@@ -1,0 +1,120 @@
+"""Tests for the fractured-mirrors and conversion-pipeline baselines."""
+
+import pytest
+
+from repro.baselines import DeltaConvertHTAP, FracturedMirrors
+from repro.errors import ConfigurationError
+from repro.storage import uniform_schema
+
+
+def schema():
+    return uniform_schema(4, 4)  # 16-byte rows
+
+
+def rows(n):
+    return [[i, i * 2, -i, i % 7] for i in range(n)]
+
+
+# -- fractured mirrors --------------------------------------------------------------
+
+
+def test_mirrors_stay_in_sync_on_insert():
+    fm = FracturedMirrors("t", schema())
+    for values in rows(10):
+        fm.insert(values)
+    assert fm.rows.n_rows == fm.columns.n_rows == 10
+    assert fm.columns.column_values("A2") == fm.rows.column_values("A2")
+    assert fm.analytic_column_bytes(["A1", "A2"]) == fm.rows.project_bytes(["A1", "A2"])
+
+
+def test_mirrors_update_propagates_to_both():
+    fm = FracturedMirrors("t", schema())
+    for values in rows(4):
+        fm.insert(values)
+    fm.update(2, [99, 98, 97, 96])
+    assert fm.rows.row(2) == (99, 98, 97, 96)
+    assert fm.columns.column_values("A1")[2] == 99
+
+
+def test_mirrors_double_write_amplification():
+    fm = FracturedMirrors("t", schema())
+    for values in rows(100):
+        fm.insert(values)
+    assert fm.costs.write_amplification(fm.schema.row_size) == pytest.approx(2.0)
+    assert fm.resident_bytes == 2 * fm.rows.nbytes
+
+
+def test_mirrors_always_fresh():
+    fm = FracturedMirrors("t", schema())
+    for values in rows(5):
+        fm.insert(values)
+    assert fm.stale_rows == 0
+    assert fm.fresh_rows == 5
+
+
+# -- conversion pipeline ---------------------------------------------------------------
+
+
+def test_delta_ingest_is_single_write():
+    pipeline = DeltaConvertHTAP("t", schema(), batch_rows=8)
+    for values in rows(100):
+        pipeline.insert(values)
+    assert pipeline.costs.write_amplification(16) == pytest.approx(1.0)
+    assert pipeline.pending_rows == 100
+    assert pipeline.fresh_rows == 0  # nothing converted yet
+
+
+def test_conversion_drains_in_batches():
+    pipeline = DeltaConvertHTAP("t", schema(), batch_rows=8)
+    for values in rows(20):
+        pipeline.insert(values)
+    assert pipeline.convert_batch() == 8
+    assert pipeline.pending_rows == 12
+    assert pipeline.fresh_rows == 8
+    total = pipeline.convert_all()
+    assert total == 12
+    assert pipeline.stale_rows == 0
+    assert pipeline.costs.conversions == 3
+
+
+def test_converted_data_matches_source():
+    pipeline = DeltaConvertHTAP("t", schema(), batch_rows=7)
+    data = rows(25)
+    for values in data:
+        pipeline.insert(values)
+    pipeline.convert_all()
+    assert pipeline.main.column_values("A3") == [v[2] for v in data]
+    assert pipeline.analytic_column_bytes(["A1"]) == pipeline.delta.project_bytes(["A1"])
+
+
+def test_conversion_costs_accounted():
+    pipeline = DeltaConvertHTAP("t", schema(), batch_rows=10)
+    for values in rows(10):
+        pipeline.insert(values)
+    pipeline.convert_all()
+    # Ingest once + conversion rewrite once = 2x amplification overall.
+    assert pipeline.costs.write_amplification(16) == pytest.approx(2.0)
+    assert pipeline.costs.bytes_converted == 160
+    assert pipeline.conversion_scan_bytes(10) == 320
+
+
+def test_analytics_staleness_window():
+    """Analytics miss exactly the un-drained delta rows."""
+    pipeline = DeltaConvertHTAP("t", schema(), batch_rows=4)
+    for values in rows(10):
+        pipeline.insert(values)
+    pipeline.convert_batch()
+    visible = pipeline.main.column_values("A1")
+    assert visible == [0, 1, 2, 3]
+    assert pipeline.stale_rows == 6
+
+
+def test_batch_validation():
+    with pytest.raises(ConfigurationError):
+        DeltaConvertHTAP("t", schema(), batch_rows=0)
+
+
+def test_empty_conversion_is_noop():
+    pipeline = DeltaConvertHTAP("t", schema())
+    assert pipeline.convert_batch() == 0
+    assert pipeline.costs.conversions == 0

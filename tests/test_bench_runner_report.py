@@ -1,0 +1,78 @@
+"""Tests for the experiment runner and the report rendering."""
+
+import pytest
+
+from repro.bench import ExperimentRunner, FigureResult, make_relation, render_figure, render_table
+from repro.bench.report import to_csv
+from repro.query import q1, q4
+from repro.rme.designs import MLP
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return make_relation(128, n_cols=16, col_width=4)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(designs=(MLP,))
+
+
+def test_time_direct_and_rme(runner, small_table):
+    direct = runner.time_direct(small_table, q4())
+    cold = runner.time_rme(small_table, q4(), MLP, hot=False)
+    hot = runner.time_rme(small_table, q4(), MLP, hot=True)
+    assert direct.value == cold.value == hot.value
+    assert cold.state == "cold" and hot.state == "hot"
+    assert hot.elapsed_ns < cold.elapsed_ns
+
+
+def test_measure_paths_collects_everything(runner, small_table):
+    times = runner.measure_paths(small_table, q1())
+    assert times.direct_ns > 0
+    assert times.columnar_ns > 0
+    assert set(times.cold_ns) == {"MLP"}
+    assert set(times.hot_ns) == {"MLP"}
+    norm = times.normalized_to_direct()
+    assert norm["Direct"] == 1.0
+    assert norm["Columnar"] < 1.0
+
+
+def test_figure_result_normalization():
+    fig = FigureResult(
+        fig_id="X", title="t", x_label="x", xs=[1, 2],
+        series={"Direct": [10.0, 20.0], "RME": [5.0, 5.0]},
+    )
+    norm = fig.normalized("Direct")
+    assert norm.series["Direct"] == [1.0, 1.0]
+    assert norm.series["RME"] == [0.5, 0.25]
+    assert fig.ratio("Direct", "RME") == [2.0, 4.0]
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "metric"], [[1, 2.5], [100, 0.001]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines)) == 1  # all same width
+
+
+def test_render_figure_contains_series_and_notes():
+    fig = FigureResult(
+        fig_id="Figure 99", title="demo", x_label="width", xs=[1, 2],
+        series={"Direct": [10.0, 20.0], "RME": [5.0, 5.0]}, notes="hello",
+    )
+    text = render_figure(fig)
+    assert "Figure 99" in text and "Direct" in text and "hello" in text
+    normalized = render_figure(fig, normalized_to="Direct")
+    assert "normalized to Direct" in normalized
+
+
+def test_to_csv_roundtrips_values():
+    fig = FigureResult(
+        fig_id="X", title="t", x_label="x", xs=[1, 2],
+        series={"A": [1.5, 2.5]},
+    )
+    csv = to_csv(fig)
+    lines = csv.splitlines()
+    assert lines[0] == "x,A"
+    assert lines[1] == "1,1.5"

@@ -1,0 +1,59 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.bench import make_listing1_table, make_relation
+from repro.bench.workloads import make_relation_for_row_size
+from repro.errors import ConfigurationError
+
+
+def test_relation_shape():
+    table = make_relation(100, n_cols=16, col_width=4)
+    assert table.n_rows == 100
+    assert table.row_size == 64
+    assert table.schema.names == [f"A{i+1}" for i in range(16)]
+
+
+def test_relation_deterministic_by_seed():
+    a = make_relation(50, seed=7)
+    b = make_relation(50, seed=7)
+    c = make_relation(50, seed=8)
+    assert a.raw_bytes() == b.raw_bytes()
+    assert a.raw_bytes() != c.raw_bytes()
+
+
+def test_centered_values_make_k0_selective():
+    """k = 0 should keep roughly half the rows (the benchmark's selections)."""
+    table = make_relation(2000)
+    positive = sum(1 for v in table.column_values("A2") if v > 0)
+    assert 0.4 < positive / 2000 < 0.6
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8, 16])
+def test_any_column_width_generates(width):
+    table = make_relation(10, n_cols=4, col_width=width)
+    assert table.row_size == 4 * width
+    assert all(isinstance(v, int) for v in table.column_values("A1"))
+
+
+def test_row_size_helper():
+    table = make_relation_for_row_size(10, row_size=128, col_width=4)
+    assert table.row_size == 128
+    assert len(table.schema) == 32
+    with pytest.raises(ConfigurationError):
+        make_relation_for_row_size(10, row_size=66, col_width=4)
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ConfigurationError):
+        make_relation(0)
+    with pytest.raises(ConfigurationError):
+        make_relation(10, n_cols=0)
+
+
+def test_listing1_table():
+    table = make_listing1_table(20)
+    assert table.n_rows == 20
+    assert table.row_size == 96
+    assert table.column_values("key") == list(range(20))
+    assert all(isinstance(v, bytes) for v in table.column_values("text_fld1"))

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_no_command_prints_help():
+    code, text = run_cli()
+    assert code == 2
+    assert "figures" in text and "query" in text
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("--version")
+    assert excinfo.value.code == 0
+
+
+def test_info():
+    code, text = run_cli("info")
+    assert code == 0
+    assert "Cortex-A53" in text
+    assert "BSL, PCK, MLP" in text
+
+
+def test_resources_default_and_named():
+    code, text = run_cli("resources")
+    assert code == 0 and "BRAM" in text and "MLP" in text
+    code, text = run_cli("resources", "--design", "bsl")
+    assert code == 0 and "BSL" in text
+
+
+def test_resources_unknown_design():
+    code, text = run_cli("resources", "--design", "XXL")
+    assert code == 1
+    assert "unknown RME design" in text
+
+
+def test_query_runs_all_paths():
+    code, text = run_cli(
+        "query", "SELECT SUM(A1) FROM S WHERE A2 > 0", "--rows", "128"
+    )
+    assert code == 0
+    assert "RME cold" in text and "RME hot" in text
+    assert "direct (row-store)" in text
+
+
+def test_query_noncontiguous_group_supported():
+    code, text = run_cli("query", "SELECT SUM(A1 * A3) FROM S", "--rows", "64")
+    assert code == 0
+    assert "answer:" in text
+
+
+def test_query_bad_sql():
+    code, text = run_cli("query", "SELEC broken")
+    assert code == 1
+    assert "error:" in text
+
+
+def test_query_unknown_column():
+    code, text = run_cli("query", "SELECT SUM(Z9) FROM S", "--rows", "32")
+    assert code == 2
+    assert "Z9" in text
+
+
+def test_figures_subset():
+    code, text = run_cli("figures", "fig01", "--rows", "64")
+    assert code == 0
+    assert "Figure 1" in text
+
+
+def test_figures_small_simulated():
+    code, text = run_cli("figures", "fig07", "--rows", "128")
+    assert code == 0
+    assert "L1 misses" in text
+
+
+def test_figures_unknown_name():
+    code, text = run_cli("figures", "fig99")
+    assert code == 2
+    assert "unknown figures" in text
+
+
+def test_figures_csv_export(tmp_path):
+    code, text = run_cli("figures", "fig01", "--csv", str(tmp_path / "out"))
+    assert code == 0
+    csv_file = tmp_path / "out" / "fig01.csv"
+    assert csv_file.exists()
+    header = csv_file.read_text().splitlines()[0]
+    assert header.startswith("projectivity,")

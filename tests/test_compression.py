@@ -1,0 +1,115 @@
+"""Tests for dictionary, delta (FOR) and run-length encodings."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompressionError
+from repro.storage import delta_encode, dictionary_encode, rle_encode
+
+
+# -- dictionary ------------------------------------------------------------------
+
+
+def test_dictionary_roundtrip():
+    values = ["us", "de", "fr", "us", "us", "de"]
+    enc = dictionary_encode(values, value_size=2)
+    assert enc.decode() == values
+    assert len(enc.dictionary) == 3
+
+
+def test_dictionary_compresses_low_cardinality():
+    values = [i % 4 for i in range(10_000)]
+    enc = dictionary_encode(values, value_size=8)
+    assert enc.code_width == 1
+    assert enc.ratio > 6.0
+
+
+def test_dictionary_code_width_grows():
+    enc = dictionary_encode(list(range(300)), value_size=8)
+    assert enc.code_width == 2
+
+
+def test_dictionary_empty_rejected():
+    with pytest.raises(CompressionError):
+        dictionary_encode([], 8)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=500))
+@settings(max_examples=50, deadline=None)
+def test_dictionary_roundtrip_property(values):
+    enc = dictionary_encode(values, value_size=8)
+    assert enc.decode() == values
+
+
+# -- delta / frame of reference ------------------------------------------------------
+
+
+def test_delta_roundtrip():
+    values = [1_000_000 + i for i in range(1000)]
+    enc = delta_encode(values, value_size=8, frame_size=128)
+    assert enc.decode() == values
+
+
+def test_delta_compresses_clustered_values():
+    values = [1_000_000_000 + (i % 100) for i in range(4096)]
+    enc = delta_encode(values, value_size=8, frame_size=128)
+    assert enc.offset_width == 1
+    assert enc.ratio > 6.0
+
+
+def test_delta_offset_width_from_worst_frame():
+    values = list(range(0, 100)) + [10**9]
+    enc = delta_encode(values, value_size=8, frame_size=256)
+    assert enc.offset_width == 4  # the outlier forces wide offsets
+
+
+def test_delta_validation():
+    with pytest.raises(CompressionError):
+        delta_encode([], 8)
+    with pytest.raises(CompressionError):
+        delta_encode([1], 8, frame_size=0)
+
+
+@given(st.lists(st.integers(min_value=-10**12, max_value=10**12),
+                min_size=1, max_size=400),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=50, deadline=None)
+def test_delta_roundtrip_property(values, frame):
+    enc = delta_encode(values, value_size=8, frame_size=frame)
+    assert enc.decode() == values
+
+
+# -- run-length ------------------------------------------------------------------------
+
+
+def test_rle_roundtrip():
+    values = [1, 1, 1, 2, 2, 3]
+    enc = rle_encode(values, value_size=4)
+    assert enc.runs == ((1, 3), (2, 2), (3, 1))
+    assert enc.decode() == values
+
+
+def test_rle_needs_sorted_data_to_win():
+    """The paper's point: RLE relies on the data being sorted."""
+    rng = random.Random(1)
+    values = [rng.randint(0, 9) for _ in range(4096)]
+    shuffled = rle_encode(values, value_size=8)
+    sorted_enc = rle_encode(sorted(values), value_size=8)
+    assert sorted_enc.ratio > 5.0
+    assert sorted_enc.ratio > shuffled.ratio * 3
+
+
+def test_rle_empty_rejected():
+    with pytest.raises(CompressionError):
+        rle_encode([], 4)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_rle_roundtrip_property(values):
+    enc = rle_encode(values, value_size=8)
+    assert enc.decode() == values
+    assert enc.n_values == len(values)

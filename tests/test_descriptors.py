@@ -1,0 +1,45 @@
+"""Tests for RequestDescriptor validation and extraction."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.rme import RequestDescriptor
+
+
+def make(row=0, r_addr=0, burst=1, w_addr=0, lead=0, trail=4, width=4, bus=16):
+    return RequestDescriptor(
+        row=row, r_addr=r_addr, burst=burst, w_addr=w_addr,
+        lead_skip=lead, trail_cut=trail, col_width=width, bus_bytes=bus,
+    )
+
+
+def test_read_bytes_and_waste():
+    d = make(burst=2, width=4)
+    assert d.read_bytes == 32
+    assert d.wasted_bytes == 28
+
+
+def test_extract_applies_lead_skip():
+    d = make(lead=3, width=4)
+    payload = bytes(range(16))
+    assert d.extract(payload) == bytes([3, 4, 5, 6])
+
+
+def test_extract_rejects_short_payload():
+    d = make(lead=14, width=4, burst=2)
+    with pytest.raises(GeometryError):
+        d.extract(b"\x00" * 10)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(burst=0),
+    dict(lead=16),
+    dict(lead=-1),
+    dict(r_addr=8),   # not bus-aligned
+    dict(width=0),
+])
+def test_validation_rejects(kwargs):
+    base = dict(row=0, r_addr=0, burst=1, w_addr=0, lead=0, trail=0, width=4, bus=16)
+    base.update(kwargs)
+    with pytest.raises(GeometryError):
+        make(**base)

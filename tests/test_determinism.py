@@ -1,0 +1,81 @@
+"""Determinism tests: same inputs, bit-identical simulated results.
+
+The whole evaluation methodology relies on the simulator being a pure
+function of its inputs — no wall-clock, no unseeded randomness. These
+tests run complete experiments twice and require byte- and
+nanosecond-identical outcomes.
+"""
+
+import pytest
+
+from repro import QueryExecutor, RelationalMemorySystem, q2, q4, q7
+from repro.bench import ExperimentRunner, make_relation
+from repro.rme import MLP, estimate_resources
+from repro.rme.resources import FEATURE_COSTS
+from tests.conftest import build_relation
+
+
+def run_benchmark_suite():
+    table = build_relation(n_rows=256)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    executor = QueryExecutor(system)
+    out = []
+    for query in (q4(), q2(k=0), q7()):
+        var = system.register_var(loaded, query.columns())
+        out.append(executor.run_rme(query, var).elapsed_ns)
+        out.append(executor.run_direct(query, loaded).elapsed_ns)
+    return out
+
+
+def test_identical_runs_identical_timings():
+    assert run_benchmark_suite() == run_benchmark_suite()
+
+
+def test_runner_paths_deterministic():
+    runner = ExperimentRunner(designs=(MLP,))
+    table = make_relation(128)
+    first = runner.measure_paths(table, q4())
+    second = runner.measure_paths(table, q4())
+    assert first.direct_ns == second.direct_ns
+    assert first.cold_ns == second.cold_ns
+    assert first.hot_ns == second.hot_ns
+
+
+def test_packed_bytes_deterministic():
+    def packed():
+        table = build_relation(n_rows=64)
+        system = RelationalMemorySystem()
+        loaded = system.load_table(table)
+        var = system.register_var(loaded, ["A2", "A3"])
+        system.warm_up(var)
+        return system.rme.packed_bytes()
+
+    assert packed() == packed()
+
+
+# -- resource-model feature costing --------------------------------------------------
+
+
+def test_feature_costs_add_monotonically():
+    base = estimate_resources(MLP)
+    for feature in FEATURE_COSTS:
+        extended = estimate_resources(MLP, features=(feature,))
+        assert extended.lut > base.lut
+        assert extended.ff > base.ff
+        assert extended.bram36 >= base.bram36
+
+
+def test_full_feature_set_stays_marginal():
+    """Even with every pushdown operator synthesised, logic stays small —
+    the headroom claim of Section 6.4."""
+    loaded = estimate_resources(
+        MLP, features=("selection", "aggregation", "groupby", "join_filter")
+    )
+    assert loaded.lut_pct < 4.0
+    assert loaded.ff_pct < 2.0
+
+
+def test_unknown_feature_rejected():
+    with pytest.raises(KeyError):
+        estimate_resources(MLP, features=("teleport",))

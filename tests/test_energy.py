@@ -1,0 +1,85 @@
+"""Tests for the per-query energy model."""
+
+import pytest
+
+from repro import QueryExecutor, RelationalMemorySystem, q4
+from repro.errors import ConfigurationError
+from repro.model import EnergyModel
+from repro.rme import MLP, estimate_resources
+from tests.conftest import build_relation
+
+
+@pytest.fixture()
+def env():
+    table = build_relation(n_rows=1024)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    return table, system, loaded, QueryExecutor(system), EnergyModel()
+
+
+def test_breakdown_totals(env):
+    table, system, loaded, executor, model = env
+    result = executor.run_direct(q4(), loaded)
+    energy = model.from_system(system, result.elapsed_ns)
+    assert energy.total_nj == pytest.approx(
+        energy.dram_nj + energy.cache_nj + energy.cpu_nj
+        + energy.pl_static_nj + energy.pl_dynamic_nj
+    )
+    assert energy.total_uj == pytest.approx(energy.total_nj / 1000.0)
+    assert all(v >= 0 for _label, v in energy.rows())
+
+
+def test_direct_run_burns_no_pl_dynamic(env):
+    table, system, loaded, executor, model = env
+    result = executor.run_direct(q4(), loaded)
+    energy = model.from_system(system, result.elapsed_ns)
+    assert energy.pl_dynamic_nj == 0.0
+    assert energy.pl_static_nj > 0.0  # the fabric is configured regardless
+
+
+def test_rme_moves_less_dram_energy(env):
+    table, system, loaded, executor, model = env
+    direct = executor.run_direct(q4(), loaded)
+    e_direct = model.from_system(system, direct.elapsed_ns)
+    var = system.register_var(loaded, ["A1"])
+    cold = executor.run_rme(q4(), var)
+    e_cold = model.from_system(system, cold.elapsed_ns)
+    # The engine fetches only useful beats: ~4x less DRAM traffic energy.
+    assert e_cold.dram_nj < e_direct.dram_nj / 2
+    # But it pays PL dynamic power while streaming.
+    assert e_cold.pl_dynamic_nj > 0
+
+
+def test_hot_rme_wins_total_energy(env):
+    table, system, loaded, executor, model = env
+    direct = executor.run_direct(q4(), loaded)
+    e_direct = model.from_system(system, direct.elapsed_ns)
+    var = system.register_var(loaded, ["A1"])
+    executor.run_rme(q4(), var)  # warm
+    hot = executor.run_rme(q4(), var)
+    e_hot = model.from_system(system, hot.elapsed_ns)
+    assert e_hot.total_nj < e_direct.total_nj / 2
+
+
+def test_pl_less_platform_comparison(env):
+    """Without a configured fabric, direct scans save the static power."""
+    table, system, loaded, executor, _model = env
+    with_pl = EnergyModel(pl_present=True)
+    without_pl = EnergyModel(pl_present=False)
+    result = executor.run_direct(q4(), loaded)
+    assert (without_pl.from_system(system, result.elapsed_ns).total_nj
+            < with_pl.from_system(system, result.elapsed_ns).total_nj)
+
+
+def test_report_integration(env):
+    table, system, loaded, executor, _model = env
+    model = EnergyModel(pl_report=estimate_resources(MLP))
+    result = executor.run_direct(q4(), loaded)
+    energy = model.from_system(system, result.elapsed_ns)
+    assert energy.pl_static_nj == pytest.approx(0.733 * result.elapsed_ns)
+
+
+def test_negative_elapsed_rejected(env):
+    table, system, loaded, executor, model = env
+    with pytest.raises(ConfigurationError):
+        model.from_system(system, -1.0)

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example's ``main()`` is imported and executed (examples assert their
+own functional invariants internally); sizes are the scripts' defaults,
+so these tests double as mid-scale integration runs.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.integration
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    # reproduce_figures reads sys.argv; keep it clean for import safety.
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "htap_mixed_workload",
+    "access_path_advisor",
+    "compression_tour",
+    "star_schema_analytics",
+    "operator_pushdown",
+])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # each example narrates its walkthrough
+
+
+def test_reproduce_figures_script_small(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["reproduce_figures.py", "128"])
+    module = load_example("reproduce_figures")
+    module.main()
+    out = capsys.readouterr().out
+    for token in ("Figure 1", "Figure 6", "Figure 13", "Table 3"):
+        assert token in out

@@ -1,0 +1,55 @@
+"""Small-scale runs of the extension experiment drivers."""
+
+import pytest
+
+from repro.bench.extensions import (
+    ext_capacity_cliff,
+    ext_hybrid_crossover,
+    ext_isolation,
+    ext_noncontiguous_tradeoff,
+    ext_pushdown_ladder,
+)
+
+pytestmark = pytest.mark.integration
+
+
+def test_capacity_cliff_monotone():
+    fig = ext_capacity_cliff(n_rows=512)
+    times = fig.series["RME cold"]
+    assert times == sorted(times, reverse=True)
+    assert fig.series["windows"][0] > fig.series["windows"][-1]
+    assert fig.series["windows"][-1] == 1
+
+
+def test_pushdown_ladder_strictly_descends():
+    fig = ext_pushdown_ladder(n_rows=1024)
+    times = fig.series["time (ns)"]
+    assert times == sorted(times, reverse=True)
+    moved = fig.series["bytes toward CPU"]
+    assert moved == sorted(moved, reverse=True)
+    assert moved[-1] == 64  # one register line
+
+
+def test_hybrid_crossover_exists():
+    fig = ext_hybrid_crossover(n_rows=512)
+    index = fig.series["Index"]
+    rme = fig.series["RME hot"]
+    assert index[0] < rme[0]      # selective end: index wins
+    assert index[-1] > rme[-1]    # broad end: RME wins
+    assert index == sorted(index)  # index cost grows with matches
+
+
+def test_isolation_ranks_neighbours():
+    fig = ext_isolation(n_rows=512)
+    by_mode = dict(zip(fig.xs, fig.series["OLTP ns"]))
+    assert by_mode["alone"] <= by_mode["rme"] <= by_mode["direct"]
+    slowdown = dict(zip(fig.xs, fig.series["slowdown %"]))
+    assert slowdown["direct"] > 3 * max(slowdown["rme"], 1e-9)
+
+
+def test_noncontiguous_tradeoff_directions():
+    fig = ext_noncontiguous_tradeoff(n_rows=512)
+    cold = dict(zip(fig.xs, fig.series["cold (ns)"]))
+    hot = dict(zip(fig.xs, fig.series["hot (ns)"]))
+    assert hot["multi-run (24B)"] < hot["covering run (32B)"]
+    assert cold["multi-run (24B)"] > cold["covering run (32B)"]

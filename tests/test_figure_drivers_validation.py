@@ -1,0 +1,49 @@
+"""Unit tests for the figure drivers' parameter handling."""
+
+import pytest
+
+from repro.bench import (
+    fig01_projectivity,
+    fig06_q1_designs,
+    fig08_offset_sweep,
+    fig13_q7_locality,
+)
+from repro.errors import ConfigurationError
+from repro.rme.designs import MLP
+
+
+def test_fig08_rejects_out_of_range_offsets():
+    with pytest.raises(ConfigurationError):
+        fig08_offset_sweep(n_rows=64, offsets=[0, 61])
+    with pytest.raises(ConfigurationError):
+        fig08_offset_sweep(n_rows=64, offsets=[-1])
+
+
+def test_fig08_subset_without_hot_runs():
+    fig = fig08_offset_sweep(n_rows=64, offsets=[0, 13], designs=(MLP,),
+                             include_hot=False)
+    assert set(fig.series) == {"Direct", "MLP cold"}
+    assert fig.xs == [0, 13]
+
+
+def test_fig13_rejects_unknown_sweep():
+    with pytest.raises(ConfigurationError):
+        fig13_q7_locality(n_rows=64, sweep="diagonal")
+
+
+def test_fig06_design_subset():
+    fig = fig06_q1_designs(n_rows=64, widths=(4,), designs=(MLP,))
+    assert set(fig.series) == {"Direct", "Columnar", "MLP cold", "MLP hot"}
+
+
+def test_fig01_point_count():
+    fig = fig01_projectivity(n_points=5)
+    assert len(fig.xs) == 5
+    assert fig.xs[-1] == pytest.approx(1.0)
+
+
+def test_figure_results_carry_notes_and_labels():
+    fig = fig01_projectivity(n_points=3)
+    assert fig.fig_id.startswith("Figure 1")
+    assert fig.x_label == "projectivity"
+    assert fig.notes

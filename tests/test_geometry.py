@@ -1,0 +1,143 @@
+"""Tests for TableGeometry and the descriptor equations (1)-(6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RMEConfig
+from repro.errors import GeometryError
+from repro.rme import TableGeometry
+
+
+def geom(R=64, N=100, C=4, O=0, base=0, bus=16):
+    return TableGeometry(RMEConfig(R, N, C, O), base, bus)
+
+
+# -- explicit examples -----------------------------------------------------------
+
+
+def test_useful_start_eq1():
+    g = geom(R=64, C=4, O=12, base=0x1000)
+    assert g.useful_start(0) == 0x1000 + 12
+    assert g.useful_start(5) == 0x1000 + 5 * 64 + 12
+
+
+def test_row_out_of_range():
+    g = geom(N=10)
+    with pytest.raises(GeometryError):
+        g.useful_start(10)
+    with pytest.raises(GeometryError):
+        g.descriptor(-1)
+
+
+def test_descriptor_aligned_single_beat():
+    d = geom(R=64, C=4, O=0).descriptor(3)
+    assert d.r_addr == 3 * 64
+    assert d.burst == 1
+    assert d.lead_skip == 0
+    assert d.trail_cut == 4
+    assert d.w_addr == 12
+
+
+def test_descriptor_straddling_offset_needs_burst2():
+    """The Figure 8 spike condition: offset 13..15 with a 4-byte column."""
+    for offset in (13, 14, 15):
+        d = geom(R=64, C=4, O=offset).descriptor(0)
+        assert d.burst == 2, offset
+    for offset in (0, 4, 12, 16):
+        d = geom(R=64, C=4, O=offset).descriptor(0)
+        assert d.burst == 1, offset
+
+
+def test_base_must_be_bus_aligned():
+    with pytest.raises(GeometryError):
+        geom(base=8)
+
+
+def test_packed_line_count():
+    assert geom(N=100, C=4).packed_line_count(64) == 7  # 400 bytes -> 7 lines
+    assert geom(N=16, C=4).packed_line_count(64) == 1
+
+
+def test_rows_touching_line_partition():
+    g = geom(N=100, C=4)
+    seen = []
+    for line in range(g.packed_line_count()):
+        seen.extend(g.rows_touching_line(line))
+    # Lines may share boundary rows, but every row must appear.
+    assert set(seen) == set(range(100))
+    with pytest.raises(GeometryError):
+        g.rows_touching_line(g.packed_line_count())
+
+
+def test_descriptors_iterates_all_rows():
+    g = geom(N=17)
+    descs = list(g.descriptors())
+    assert len(descs) == 17
+    assert [d.row for d in descs] == list(range(17))
+
+
+# -- property-based checks of Eqs. (1)-(6) ---------------------------------------------
+
+geometries = st.tuples(
+    st.integers(min_value=1, max_value=256),   # row size R
+    st.integers(min_value=1, max_value=64),    # row count N
+    st.integers(min_value=0, max_value=255),   # offset seed
+    st.integers(min_value=1, max_value=256),   # width seed
+)
+
+
+@st.composite
+def valid_geometries(draw):
+    R = draw(st.integers(min_value=1, max_value=256))
+    O = draw(st.integers(min_value=0, max_value=R - 1))
+    C = draw(st.integers(min_value=1, max_value=R - O))
+    N = draw(st.integers(min_value=1, max_value=64))
+    base = draw(st.integers(min_value=0, max_value=64)) * 16
+    return TableGeometry(RMEConfig(R, N, C, O), base, 16)
+
+
+@given(valid_geometries())
+@settings(max_examples=200, deadline=None)
+def test_descriptor_invariants(g):
+    bw = g.bus_bytes
+    for row in range(g.row_count):
+        p = g.useful_start(row)
+        d = g.descriptor(row)
+        # Eq. (2): read address is the bus-aligned floor of P_i.
+        assert d.r_addr == (p // bw) * bw
+        assert d.r_addr % bw == 0
+        assert d.r_addr <= p
+        # Eq. (3): the burst covers exactly [P_i, P_i + C).
+        assert d.r_addr + d.burst * bw >= p + g.col_width
+        assert d.r_addr + (d.burst - 1) * bw < p + g.col_width
+        # Eq. (4): packed output is dense.
+        assert d.w_addr == g.col_width * row
+        # Eq. (5)/(6): lead/trail markers.
+        assert d.lead_skip == p % bw
+        assert d.trail_cut == (p + g.col_width) % bw
+        # The extraction window fits inside the fetched bytes.
+        assert d.lead_skip + g.col_width <= d.read_bytes
+
+
+@given(valid_geometries())
+@settings(max_examples=100, deadline=None)
+def test_extraction_matches_direct_slice(g):
+    """Extracting from a synthetic burst equals slicing the source bytes."""
+    table_bytes = bytes(
+        (i * 37 + 11) % 256 for i in range(g.base_addr + g.row_size * g.row_count + g.bus_bytes)
+    )
+    for row in range(g.row_count):
+        d = g.descriptor(row)
+        payload = table_bytes[d.r_addr : d.r_addr + d.read_bytes]
+        p = g.useful_start(row)
+        assert d.extract(payload) == table_bytes[p : p + g.col_width]
+
+
+@given(valid_geometries())
+@settings(max_examples=100, deadline=None)
+def test_wasted_bytes_less_than_two_beats(g):
+    """Variable bursts never over-fetch more than the alignment slack."""
+    for row in range(min(g.row_count, 8)):
+        d = g.descriptor(row)
+        assert 0 <= d.wasted_bytes < 2 * g.bus_bytes

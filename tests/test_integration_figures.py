@@ -1,0 +1,125 @@
+"""Integration tests: tiny versions of every figure driver, with the
+paper's shape claims asserted (the full-size runs live in benchmarks/)."""
+
+import pytest
+
+from repro.bench import (
+    fig01_projectivity,
+    fig06_q1_designs,
+    fig07_cache_stats,
+    fig08_offset_sweep,
+    fig09_projection_colsize,
+    fig10_projection_rowsize,
+    fig11_agg_colsize,
+    fig12_agg_rowsize,
+    fig13_q7_locality,
+    table3_resources,
+)
+from repro.rme.designs import MLP
+
+pytestmark = pytest.mark.integration
+
+N = 512  # rows per point: small but steady-state
+
+
+def test_fig01_shapes():
+    fig = fig01_projectivity(n_points=10)
+    rows = fig.series["row_store"]
+    cols = fig.series["column_store"]
+    assert len(set(rows)) == 1                      # flat
+    assert all(a <= b for a, b in zip(cols, cols[1:]))  # rising
+    assert fig.series["ideal"] == [min(r, c) for r, c in zip(rows, cols)]
+
+
+def test_fig06_headline_claims():
+    fig = fig06_q1_designs(n_rows=N, widths=(4,))
+    norm = fig.normalized("Direct")
+    bsl = norm.series["BSL cold"][0]
+    pck = norm.series["PCK cold"][0]
+    mlp = norm.series["MLP cold"][0]
+    assert 12 < bsl < 22          # "cold BSL is 16x slower"
+    assert mlp < pck < bsl        # progressive revisions
+    assert mlp < 1.0              # "20% lower latency than the normal route"
+    hot = norm.series["MLP hot"][0]
+    col = norm.series["Columnar"][0]
+    assert hot == pytest.approx(col, rel=0.5)  # "same latency" claim
+    assert hot < 0.2
+
+
+def test_fig06_hot_benefit_shrinks_with_width():
+    fig = fig06_q1_designs(n_rows=N, widths=(1, 16), designs=(MLP,))
+    norm = fig.normalized("Direct")
+    assert norm.series["MLP hot"][0] < norm.series["MLP hot"][1]
+
+
+def test_fig07_mlp_has_far_fewer_misses():
+    fig = fig07_cache_stats(n_rows=1024)
+    direct = dict(zip(fig.xs, fig.series["Direct"]))
+    rme = dict(zip(fig.xs, fig.series["RME (MLP)"]))
+    assert direct["L1 requests"] == rme["L1 requests"]  # same element loads
+    assert rme["L1 misses"] * 8 < direct["L1 misses"]
+    assert rme["L2 misses"] * 8 < direct["L2 misses"]
+
+
+def test_fig08_spikes_only_at_straddling_offsets():
+    offsets = [0, 8, 12, 13, 14, 15, 16, 29, 45]
+    fig = fig08_offset_sweep(n_rows=128, offsets=offsets, designs=(MLP,),
+                             include_hot=True)
+    cold = dict(zip(fig.xs, fig.series["MLP cold"]))
+    flat = cold[0]
+    assert cold[8] == pytest.approx(flat, rel=0.02)
+    assert cold[16] == pytest.approx(flat, rel=0.02)
+    for spike in (13, 14, 15, 29, 45):
+        assert cold[spike] > flat * 1.01
+    # Direct and hot accesses do not care about the offset.
+    direct = fig.series["Direct"]
+    assert max(direct) == pytest.approx(min(direct), rel=0.05)
+    hot = fig.series["MLP hot"]
+    assert max(hot) == pytest.approx(min(hot), rel=0.05)
+
+
+def test_fig09_sixteen_byte_columns_cancel_out():
+    fig = fig09_projection_colsize(n_rows=N, widths=(4, 16))
+    q3_ratio = fig.ratio("Q3 RME cold", "Q3 Direct")
+    assert q3_ratio[0] < 0.95       # 4B columns: RME wins cold
+    assert 0.8 < q3_ratio[1] < 1.3  # 16B columns: roughly cancels
+
+
+def test_fig10_gain_grows_with_row_size():
+    fig = fig10_projection_rowsize(n_rows=N, row_sizes=(32, 64, 128))
+    gains = [d / c for d, c in zip(fig.series["Q3 Direct"],
+                                   fig.series["Q3 RME cold"])]
+    assert gains == sorted(gains)
+    assert 2.5 < gains[-1] < 4.5   # "up to 3.2x"
+
+
+def test_fig11_rme_wins_aggregations():
+    fig = fig11_agg_colsize(n_rows=N, widths=(4,))
+    for name in ("Q4", "Q5", "Q6"):
+        direct = fig.series[f"{name} Direct"][0]
+        cold = fig.series[f"{name} RME cold"][0]
+        assert cold < direct
+
+
+def test_fig12_q6_reaches_paper_ratio():
+    """Q6 via RME 'as low as 65% of the traditional row access'."""
+    fig = fig12_agg_rowsize(n_rows=N, row_sizes=(64, 128))
+    ratios = fig.ratio("Q6 RME cold", "Q6 Direct")
+    assert min(ratios) < 0.7
+
+
+def test_fig13_two_pass_locality():
+    fig = fig13_q7_locality(n_rows=N, sweep="row", row_sizes=(64, 128))
+    r64 = fig.series["RME cold"][0] / fig.series["Direct"][0]
+    r128 = fig.series["RME cold"][1] / fig.series["Direct"][1]
+    assert r64 < 1.0          # ~15% better at the default geometry
+    assert r128 < 0.5         # "drops by about 60%" at large rows
+    assert r128 < r64
+
+
+def test_table3_structure():
+    reports = table3_resources()
+    mlp = reports["MLP"]
+    assert mlp.bram_pct > 50 and mlp.lut_pct < 3
+    assert reports["BSL"].lut < mlp.lut
+    assert all(r.timing_met for r in reports.values())

@@ -1,0 +1,93 @@
+"""Tests for the multi-core model (private L1s, shared L2/DRAM)."""
+
+import pytest
+
+from repro import RelationalMemorySystem
+from repro.errors import ConfigurationError
+from repro.memsys.cpu import ScanSegment
+from tests.conftest import build_relation
+
+
+def test_core_count_validated():
+    with pytest.raises(ConfigurationError):
+        RelationalMemorySystem(n_cores=0)
+    with pytest.raises(ConfigurationError):
+        RelationalMemorySystem(n_cores=5)  # the ZCU102 has 4 cores
+
+
+def test_cores_share_l2_not_l1():
+    system = RelationalMemorySystem(n_cores=3)
+    a, b, c = system.hierarchies
+    assert a.l2 is b.l2 is c.l2
+    assert a.l1 is not b.l1 and b.l1 is not c.l1
+
+
+def test_backends_shared_across_cores():
+    system = RelationalMemorySystem(n_cores=2)
+    loaded = system.load_table(build_relation(n_rows=64))
+    for hierarchy in system.hierarchies:
+        assert hierarchy.route(loaded.base_addr) is not None
+
+
+def test_measure_parallel_returns_per_core_times():
+    system = RelationalMemorySystem(n_cores=2)
+    loaded = system.load_table(build_relation(n_rows=256))
+    seg = ScanSegment(loaded.base_addr, 256, 4, 64)
+    times = system.measure_parallel([[seg], [seg]])
+    assert len(times) == 2
+    assert all(t > 0 for t in times)
+
+
+def test_too_many_workloads_rejected():
+    system = RelationalMemorySystem(n_cores=1)
+    with pytest.raises(ConfigurationError):
+        system.measure_parallel([[], []])
+
+
+def test_contention_slows_both_cores():
+    """Two streaming cores share the DRAM bus: each runs slower than alone."""
+    def build():
+        system = RelationalMemorySystem(n_cores=2)
+        loaded = system.load_table(build_relation(n_rows=1024))
+        seg = ScanSegment(loaded.base_addr, 1024, 4, 64)
+        return system, seg
+
+    system, seg = build()
+    alone = system.measure_parallel([[seg]])[0]
+    system, seg = build()
+    together = system.measure_parallel([[seg], [seg]])
+    assert min(together) > alone
+
+
+def test_l2_pollution_from_streaming_neighbour():
+    """A core streaming a large table evicts the other core's L2 lines.
+
+    The victim's working set is warmed into L2, its private L1 dropped
+    (so re-touches must go to L2), and the neighbour sweeps a table
+    larger than the shared L2: the re-touches now miss.
+    """
+    def retouch_misses(stream: bool) -> int:
+        system = RelationalMemorySystem(n_cores=2)
+        small = system.load_table(build_relation(n_rows=128, seed=1, name="small"))
+        big = system.load_table(build_relation(n_rows=20_000, seed=2, name="big"))
+        points = [(small.base_addr + 64 * (i % 128), 8) for i in range(128)]
+        system.measure_points(points)  # warm into L1 + L2
+        if stream:
+            sweep = ScanSegment(big.base_addr, 20_000, 4, 64)
+            system.measure_parallel([[], [sweep]])
+        system.hierarchy.l1.flush()  # force re-touches down to L2
+        system.hierarchy.reset_stats()
+        system.measure_points(points)
+        return system.hierarchy.l2.stats.count("misses")
+
+    assert retouch_misses(stream=False) == 0
+    assert retouch_misses(stream=True) > 64
+
+
+def test_mixed_segments_and_points_per_core():
+    system = RelationalMemorySystem(n_cores=2)
+    loaded = system.load_table(build_relation(n_rows=256))
+    seg = ScanSegment(loaded.base_addr, 64, 4, 64)
+    pts = [(loaded.base_addr + 64 * i, 8) for i in range(16)]
+    times = system.measure_parallel([[seg] + pts, pts])
+    assert len(times) == 2 and all(t > 0 for t in times)

@@ -1,0 +1,74 @@
+"""Tests for the cost-based access-path optimizer."""
+
+import pytest
+
+from repro import AccessPath, RelationalMemorySystem, RowTable, choose_access_path, uniform_schema
+from repro.query import q1, q4, q7, Query
+from repro.query.queries import q3
+from tests.conftest import build_relation
+
+
+@pytest.fixture(scope="module")
+def loaded_wide():
+    """A 64-byte-row relation: low projectivity for single columns."""
+    system = RelationalMemorySystem()
+    return system.load_table(build_relation(n_rows=512, n_cols=16))
+
+
+@pytest.fixture(scope="module")
+def loaded_narrow():
+    """An 8-byte-row relation: projecting both columns = whole row."""
+    system = RelationalMemorySystem()
+    table = RowTable("narrow", uniform_schema(2, 4))
+    for i in range(512):
+        table.append([i, -i])
+    return system.load_table(table)
+
+
+def test_low_projectivity_prefers_rme(loaded_wide):
+    choice = choose_access_path(q4(), loaded_wide)
+    assert choice.best is AccessPath.RME
+    assert choice.speedup_vs(AccessPath.DIRECT_ROW) > 1.0
+    assert choice.reason
+
+
+def test_full_row_projection_prefers_direct(loaded_narrow):
+    query = q3(("A1", "A2"))  # touches the whole 8-byte row
+    choice = choose_access_path(query, loaded_narrow)
+    assert choice.best is AccessPath.DIRECT_ROW
+
+
+def test_columnar_estimate_only_when_copy_exists(loaded_wide):
+    without = choose_access_path(q1(), loaded_wide)
+    assert AccessPath.COLUMNAR not in without.estimates_ns
+    with_copy = choose_access_path(q1(), loaded_wide, has_columnar_copy=True)
+    assert AccessPath.COLUMNAR in with_copy.estimates_ns
+
+
+def test_hot_rme_beats_columnar_estimate(loaded_wide):
+    choice = choose_access_path(q1(), loaded_wide, has_columnar_copy=True,
+                                rme_hot=True)
+    assert choice.best in (AccessPath.RME, AccessPath.COLUMNAR)
+    ratio = (choice.estimates_ns[AccessPath.RME]
+             / choice.estimates_ns[AccessPath.COLUMNAR])
+    assert 0.5 < ratio < 2.0  # "same latency" claim
+
+
+def test_two_pass_query_amortizes_transformation(loaded_wide):
+    """Q7's second pass runs hot, making RME still more attractive."""
+    one_pass = choose_access_path(q4(), loaded_wide)
+    two_pass = choose_access_path(q7(), loaded_wide)
+    assert (two_pass.speedup_vs(AccessPath.DIRECT_ROW)
+            >= one_pass.speedup_vs(AccessPath.DIRECT_ROW))
+
+
+def test_speedup_vs_unestimated_path_raises(loaded_wide):
+    from repro.errors import QueryError
+    choice = choose_access_path(q1(), loaded_wide)
+    with pytest.raises(QueryError):
+        choice.speedup_vs(AccessPath.COLUMNAR)
+
+
+def test_estimates_are_positive(loaded_wide):
+    choice = choose_access_path(q4(), loaded_wide, has_columnar_copy=True)
+    assert all(v > 0 for v in choice.estimates_ns.values())

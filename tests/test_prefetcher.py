@@ -1,0 +1,78 @@
+"""Tests for the stream prefetcher."""
+
+from repro.memsys import StreamPrefetcher
+
+
+def test_no_prefetch_before_confidence():
+    pf = StreamPrefetcher(64, degree=4)
+    assert pf.observe(0) == []
+    assert pf.observe(64) == []  # first stride sample: confidence 1
+
+
+def test_sequential_stream_prefetches_degree_lines():
+    pf = StreamPrefetcher(64, degree=4)
+    pf.observe(0)
+    pf.observe(64)
+    targets = pf.observe(128)
+    assert targets == [192, 256, 320, 384]
+
+
+def test_repeated_same_line_does_not_reset_stream():
+    pf = StreamPrefetcher(64, degree=2)
+    pf.observe(0)
+    pf.observe(64)
+    pf.observe(128)
+    again = pf.observe(128)  # multiple elements in one line
+    assert again == [192, 256]
+
+
+def test_stride_change_resets_confidence():
+    pf = StreamPrefetcher(64, degree=2)
+    pf.observe(0)
+    pf.observe(64)
+    pf.observe(128)
+    assert pf.observe(512) == []   # stride broke
+    assert pf.observe(576) == []   # confidence 1 on the new stride
+    assert pf.observe(640) == [704, 768]
+
+
+def test_wide_strides_not_followed():
+    """The A53-like unit only follows consecutive lines (Figure 10's effect)."""
+    pf = StreamPrefetcher(64, degree=4, max_stride_lines=1)
+    pf.observe(0)
+    pf.observe(128)  # stride of 2 lines
+    assert pf.observe(256) == []
+    assert pf.observe(384) == []
+
+
+def test_wider_limit_follows_strided_streams():
+    pf = StreamPrefetcher(64, degree=2, max_stride_lines=2)
+    pf.observe(0)
+    pf.observe(128)
+    assert pf.observe(256) == [384, 512]
+
+
+def test_degree_zero_disables():
+    pf = StreamPrefetcher(64, degree=0)
+    for line in (0, 64, 128, 192):
+        assert pf.observe(line) == []
+
+
+def test_reset_forgets_stream():
+    pf = StreamPrefetcher(64, degree=2)
+    pf.observe(0)
+    pf.observe(64)
+    pf.observe(128)
+    pf.reset()
+    assert pf.observe(192) == []
+    assert pf.observe(256) == []
+    assert pf.observe(320) == [384, 448]
+
+
+def test_descending_streams_not_followed_by_default():
+    pf = StreamPrefetcher(64, degree=2, max_stride_lines=1)
+    pf.observe(640)
+    pf.observe(576)
+    targets = pf.observe(512)
+    # stride -64 is within |1 line|; the unit follows it downward.
+    assert targets == [448, 384]

@@ -1,0 +1,103 @@
+"""Cross-cutting property-based tests: the RME's functional equivalence.
+
+The central invariant of the whole system: for *any* valid geometry, the
+packed bytes the simulated engine assembles in its reorganization buffer
+are byte-identical to a software projection of the row table — and the
+timing machinery (designs, offsets, buffer state) never changes answers.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RelationalMemorySystem, RowTable, uniform_schema
+from repro.rme.designs import BSL, MLP, PCK
+
+
+@st.composite
+def relation_and_group(draw):
+    col_width = draw(st.sampled_from([1, 2, 4, 8]))
+    n_cols = draw(st.integers(min_value=1, max_value=16))
+    n_rows = draw(st.integers(min_value=1, max_value=48))
+    first = draw(st.integers(min_value=0, max_value=n_cols - 1))
+    span = draw(st.integers(min_value=1, max_value=n_cols - first))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    table = RowTable("s", uniform_schema(n_cols, col_width))
+    rng = random.Random(seed)
+    bound = 2 ** (8 * col_width - 1) - 1
+    for _ in range(n_rows):
+        table.append([rng.randint(-bound, bound) for _ in range(n_cols)])
+    group = [f"A{first + i + 1}" for i in range(span)]
+    return table, group
+
+
+@given(relation_and_group(), st.sampled_from([BSL, PCK, MLP]))
+@settings(max_examples=40, deadline=None)
+def test_rme_projection_equals_software_projection(table_group, design):
+    table, group = table_group
+    system = RelationalMemorySystem(design=design)
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, group)
+    system.warm_up(var)
+    assert system.rme.packed_bytes() == table.project_bytes(group)
+
+
+@given(relation_and_group())
+@settings(max_examples=25, deadline=None)
+def test_values_stable_across_buffer_states(table_group):
+    """Functional answers are identical cold and hot."""
+    table, group = table_group
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, group)
+    cold_values = var.values()
+    system.warm_up(var)
+    assert var.values() == cold_values
+    assert cold_values == table.project_values(group)
+
+
+@given(relation_and_group())
+@settings(max_examples=25, deadline=None)
+def test_columnar_copy_agrees_with_rme_bytes(table_group):
+    """Columnar group bytes == RME packed bytes == software projection."""
+    from repro.storage import ColumnTable
+    table, group = table_group
+    cols = ColumnTable.from_rows(table)
+    assert cols.group_bytes(group) == table.project_bytes(group)
+
+
+@given(relation_and_group(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_windowed_scan_results_independent_of_capacity(table_group, divisor):
+    """Functional answers never depend on the buffer capacity: a windowed
+    projection (any window count) returns the same values as a resident
+    one."""
+    import math
+
+    from repro import QueryExecutor, q4
+    table, group = table_group
+    width = sum(table.schema.column(c).size for c in group)
+    projected = width * table.n_rows
+    # A window must hold at least one line-aligned chunk of rows.
+    chunk = math.lcm(width, 64)
+    capacity = max(chunk, -(-projected // divisor // 64) * 64)
+    system = RelationalMemorySystem(buffer_capacity=capacity)
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, group, windowed=True)
+    first_col = group[0]
+    result = QueryExecutor(system).run_rme(q4(first_col), var)
+    assert result.value == sum(table.column_values(first_col))
+
+
+@given(relation_and_group())
+@settings(max_examples=20, deadline=None)
+def test_multirun_registration_never_changes_answers(table_group):
+    """Registering any group with allow_noncontiguous=True (even a
+    contiguous one) leaves values identical to the software projection."""
+    table, group = table_group
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, group, allow_noncontiguous=True)
+    system.warm_up(var)
+    assert system.rme.packed_bytes() == table.project_bytes(group)

@@ -1,0 +1,204 @@
+"""Tests for GROUP BY pushdown and the semi-join key filter."""
+
+import random
+
+import pytest
+
+from repro import (
+    Column,
+    HWGroupBy,
+    HWJoinFilter,
+    QueryExecutor,
+    RelationalMemorySystem,
+    RowTable,
+    Schema,
+    int32,
+    int64,
+)
+from repro.errors import ConfigurationError, QueryError
+from repro.rme.pushdown import GroupByAccumulator
+from repro.storage.schema import intn
+
+
+def make_sales_table(n_rows=1024, n_regions=8, seed=5):
+    schema = Schema([
+        Column("region", intn(1)),
+        Column("pad", intn(3)),
+        Column("sales", int32()),
+        Column("other", int64()),
+    ])
+    table = RowTable("sales", schema)
+    rng = random.Random(seed)
+    for _ in range(n_rows):
+        table.append([rng.randint(0, n_regions - 1), 0,
+                      rng.randint(-100, 100), 0])
+    return table
+
+
+@pytest.fixture()
+def env():
+    table = make_sales_table()
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    return table, system, loaded, QueryExecutor(system)
+
+
+def software_groups(table, func="sum", predicate=None):
+    groups = {}
+    for region, _pad, sales, _other in table.scan():
+        if predicate is not None and not predicate(region, sales):
+            continue
+        groups.setdefault(region, []).append(sales)
+    reducer = {"sum": sum, "min": min, "max": max, "count": len}[func]
+    return {key: reducer(values) for key, values in groups.items()}
+
+
+# -- accumulator unit behaviour ---------------------------------------------------
+
+
+def test_groupby_accumulator_sums_per_key():
+    cfg = HWGroupBy(group_offset=0, group_width=1, func="sum",
+                    agg_offset=4, agg_width=4)
+    acc = GroupByAccumulator(cfg)
+
+    def row(key, value):
+        return bytes([key, 0, 0, 0]) + value.to_bytes(4, "little", signed=True)
+
+    acc.feed(row(1, 10))
+    acc.feed(row(2, 5))
+    acc.feed(row(1, -3))
+    assert acc.result() == {1: 7, 2: 5}
+    assert acc.count == 3
+
+
+def test_groupby_table_overflow_guard():
+    cfg = HWGroupBy(group_offset=0, group_width=1, func="count",
+                    agg_offset=0, agg_width=1, max_groups=2)
+    acc = GroupByAccumulator(cfg)
+    acc.feed(bytes([1]))
+    acc.feed(bytes([2]))
+    with pytest.raises(ConfigurationError):
+        acc.feed(bytes([3]))
+
+
+def test_groupby_payload_sorted_entries():
+    cfg = HWGroupBy(group_offset=0, group_width=1, func="sum",
+                    agg_offset=4, agg_width=4)
+    acc = GroupByAccumulator(cfg)
+    for key, value in ((3, 1), (1, 2), (2, 3)):
+        acc.feed(bytes([key, 0, 0, 0]) + value.to_bytes(4, "little", signed=True))
+    payload = acc.register_payload()
+    assert len(payload) == 3 * 16
+    keys = [int.from_bytes(payload[i:i + 8], "little", signed=True)
+            for i in range(0, 48, 16)]
+    assert keys == [1, 2, 3]
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(group_offset=0, group_width=3, func="sum", agg_offset=4, agg_width=4),
+    dict(group_offset=0, group_width=1, func="median", agg_offset=4, agg_width=4),
+    dict(group_offset=0, group_width=1, func="sum", agg_offset=10, agg_width=4),
+    dict(group_offset=0, group_width=1, func="sum", agg_offset=4, agg_width=4,
+         max_groups=0),
+])
+def test_groupby_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        HWGroupBy(**kwargs).validate(group_width=8)
+
+
+# -- end-to-end group-by pushdown --------------------------------------------------
+
+
+@pytest.mark.parametrize("func", ["sum", "count", "min", "max"])
+def test_hw_group_by_matches_software(env, func):
+    table, system, loaded, executor = env
+    gvar = system.register_hw_group_by(loaded, "sales", "region", func)
+    result = executor.run_rme_hw_group_by(gvar)
+    assert result.value == software_groups(table, func)
+
+
+def test_hw_group_by_with_predicate(env):
+    table, system, loaded, executor = env
+    gvar = system.register_hw_group_by(
+        loaded, "sales", "region", "sum",
+        predicate_column="sales", op=">", constant=0,
+    )
+    result = executor.run_rme_hw_group_by(gvar)
+    assert result.value == software_groups(
+        table, "sum", predicate=lambda _r, s: s > 0
+    )
+
+
+def test_hw_group_by_hot_read_scales_with_groups(env):
+    table, system, loaded, executor = env
+    gvar = system.register_hw_group_by(loaded, "sales", "region", "sum")
+    cold = executor.run_rme_hw_group_by(gvar)
+    hot = executor.run_rme_hw_group_by(gvar)
+    assert hot.elapsed_ns < 2_000     # 8 groups = 2 lines of traffic
+    assert cold.elapsed_ns > 10 * hot.elapsed_ns
+
+
+def test_hw_group_by_type_checked(env):
+    table, system, loaded, executor = env
+    plain = system.register_var(loaded, ["region", "pad", "sales"])
+    with pytest.raises(QueryError):
+        executor.run_rme_hw_group_by(plain)
+
+
+def test_hw_group_by_overflow_surfaces(env):
+    table, system, loaded, executor = env
+    gvar = system.register_hw_group_by(loaded, "sales", "sales", "count",
+                                       max_groups=4)
+    with pytest.raises(ConfigurationError):
+        executor.run_rme_hw_group_by(gvar)
+
+
+# -- semi-join key filter ------------------------------------------------------------
+
+
+def test_join_filter_matches_membership():
+    jf = HWJoinFilter(field_offset=0, field_width=4, keys=frozenset({7, 9}))
+    assert jf.matches((7).to_bytes(4, "little", signed=True))
+    assert not jf.matches((8).to_bytes(4, "little", signed=True))
+
+
+def test_join_filter_validation():
+    with pytest.raises(ConfigurationError):
+        HWJoinFilter(0, 4, frozenset()).validate(8)
+    with pytest.raises(ConfigurationError):
+        HWJoinFilter(6, 4, frozenset({1})).validate(8)
+
+
+def test_semijoin_var_keeps_only_joinable_rows(env):
+    table, system, loaded, executor = env
+    keys = {1, 4, 6}
+    jvar = system.register_semijoin_var(
+        loaded, ["region", "pad", "sales"], "region", keys
+    )
+    system.warm_up(jvar)
+    expected = [row for row in table.project_values(["region", "pad", "sales"])
+                if row[0] in keys]
+    assert jvar.values() == expected
+    assert system.rme.match_count == len(expected)
+
+
+def test_semijoin_key_must_be_in_group(env):
+    table, system, loaded, executor = env
+    with pytest.raises(ConfigurationError):
+        system.register_semijoin_var(loaded, ["sales"], "region", {1})
+
+
+def test_semijoin_end_to_end_join(env):
+    """A full semi-join: filter a dimension, push its keys, join on CPU."""
+    table, system, loaded, executor = env
+    dimension = {0: "north", 1: "south", 2: "east", 3: "west",
+                 4: "centre", 5: "remote", 6: "online", 7: "other"}
+    wanted = {k for k, name in dimension.items() if name.startswith("s")}
+    jvar = system.register_semijoin_var(
+        loaded, ["region", "pad", "sales"], "region", wanted
+    )
+    joined = [(dimension[r], s) for r, _p, s in jvar.values()]
+    assert joined and all(name == "south" for name, _s in joined)
+    reference = [( dimension[r], s) for r, _p, s, _o in table.scan()
+                 if r in wanted]
+    assert joined == reference

@@ -1,0 +1,70 @@
+"""Tests for the expression tree."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import BinOp, Col, Const
+
+
+def test_column_eval_and_missing():
+    expr = Col("a")
+    assert expr.eval({"a": 5}) == 5
+    with pytest.raises(QueryError):
+        expr.eval({"b": 1})
+    with pytest.raises(QueryError):
+        Col("")
+
+
+def test_arithmetic_tree():
+    expr = (Col("a") + 2) * Col("b") - 1
+    assert expr.eval({"a": 3, "b": 4}) == 19
+    assert expr.columns() == frozenset({"a", "b"})
+
+
+def test_comparisons():
+    env = {"x": 10}
+    assert (Col("x") > 5).eval(env)
+    assert (Col("x") >= 10).eval(env)
+    assert not (Col("x") < 10).eval(env)
+    assert (Col("x") <= 10).eval(env)
+    assert Col("x").eq(10).eval(env)
+    assert Col("x").ne(11).eval(env)
+
+
+def test_boolean_combinators():
+    env = {"a": 1, "b": -1}
+    expr = (Col("a") > 0).and_(Col("b") < 0)
+    assert expr.eval(env)
+    expr = (Col("a") < 0).or_(Col("b") < 0)
+    assert expr.eval(env)
+
+
+def test_division():
+    assert (Col("a") / 4).eval({"a": 10}) == 2.5
+
+
+def test_cost_accumulates_over_tree():
+    simple = Col("a") > 0
+    compound = (Col("a") * Col("b")) + Col("c")
+    assert compound.cost_ns() > simple.cost_ns() > 0
+    assert Const(5).cost_ns() == 0.0
+
+
+def test_division_costs_more_than_add():
+    assert (Col("a") / 2).cost_ns() > (Col("a") + 2).cost_ns()
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(QueryError):
+        BinOp("%", Col("a"), Const(2))
+
+
+def test_const_wrapping():
+    expr = Col("a") + 5
+    assert isinstance(expr.right, Const)
+    assert expr.eval({"a": 1}) == 6
+
+
+def test_repr_is_readable():
+    expr = Col("a") * 2
+    assert "a" in repr(expr) and "*" in repr(expr)

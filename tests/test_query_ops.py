@@ -1,0 +1,69 @@
+"""Tests for the physical operators."""
+
+import statistics
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Col
+from repro.query.ops import (
+    agg_avg,
+    agg_std,
+    aggregate,
+    filter_rows,
+    group_aggregate,
+    project,
+)
+
+
+def rows(values):
+    return [{"a": v, "g": v % 3} for v in values]
+
+
+def test_filter_none_keeps_all():
+    data = rows([1, 2, 3])
+    assert filter_rows(data, None) == data
+
+
+def test_filter_predicate():
+    kept = filter_rows(rows([1, -2, 3, -4]), Col("a") > 0)
+    assert [r["a"] for r in kept] == [1, 3]
+
+
+def test_project_tuples():
+    assert project(rows([1, 2]), ["a", "g"]) == [(1, 1), (2, 2)]
+
+
+def test_aggregates():
+    assert aggregate("sum", [1, 2, 3]) == 6
+    assert aggregate("count", [1, 2, 3]) == 3
+    assert agg_avg([2, 4]) == 3.0
+    assert aggregate("std", [1.0, 2.0, 3.0, 4.0]) == pytest.approx(
+        statistics.stdev([1.0, 2.0, 3.0, 4.0])
+    )
+
+
+def test_std_matches_eq7_two_pass():
+    values = [3.5, -1.25, 7.0, 2.25, 0.0, 10.5]
+    assert agg_std(values) == pytest.approx(statistics.stdev(values))
+
+
+def test_aggregate_validation():
+    with pytest.raises(QueryError):
+        aggregate("median", [1])
+    with pytest.raises(QueryError):
+        agg_avg([])
+    with pytest.raises(QueryError):
+        agg_std([1.0])
+
+
+def test_group_aggregate():
+    data = rows([0, 1, 2, 3, 4, 5])
+    result = group_aggregate(data, "g", "sum", Col("a"))
+    assert result == {0: 0 + 3, 1: 1 + 4, 2: 2 + 5}
+
+
+def test_group_aggregate_avg():
+    data = rows([0, 3, 6])  # all g == 0
+    result = group_aggregate(data, "g", "avg", Col("a"))
+    assert result == {0: 3.0}

@@ -1,0 +1,112 @@
+"""Tests for the reorganization buffer (data + metadata SPM)."""
+
+import pytest
+
+from repro.errors import CapacityError, SimulationError
+from repro.rme.reorg_buffer import ReorganizationBuffer
+
+
+def test_capacity_must_be_line_multiple():
+    with pytest.raises(CapacityError):
+        ReorganizationBuffer(capacity=100, line_size=64)
+    with pytest.raises(CapacityError):
+        ReorganizationBuffer(capacity=0)
+
+
+def test_reset_sizes_lines():
+    buf = ReorganizationBuffer(capacity=1024)
+    buf.reset(200)
+    assert buf.n_lines == 4  # 200 bytes -> 3 full + 1 partial line
+    assert buf.valid_bytes == 200
+    assert buf.ready_lines == 0
+
+
+def test_projection_over_capacity_rejected():
+    buf = ReorganizationBuffer(capacity=128)
+    with pytest.raises(CapacityError):
+        buf.reset(129)
+    buf.reset(128)  # exactly at capacity is fine
+
+
+def test_write_completes_lines_in_order():
+    buf = ReorganizationBuffer(capacity=256)
+    buf.reset(128)
+    done = buf.write(0, bytes(range(64)))
+    assert done == [0]
+    assert buf.line_ready(0)
+    assert not buf.line_ready(1)
+    done = buf.write(64, bytes(range(64)))
+    assert done == [1]
+    assert buf.ready_lines == 2
+
+
+def test_partial_writes_accumulate():
+    buf = ReorganizationBuffer(capacity=128)
+    buf.reset(64)
+    assert buf.write(0, b"\x01" * 32) == []
+    assert not buf.line_ready(0)
+    assert buf.write(32, b"\x02" * 32) == [0]
+    assert buf.read_line(0) == b"\x01" * 32 + b"\x02" * 32
+
+
+def test_partial_last_line_completes_at_target():
+    buf = ReorganizationBuffer(capacity=128)
+    buf.reset(80)  # one full line + 16 bytes
+    buf.write(0, bytes(64))
+    assert buf.write(64, b"\xaa" * 16) == [1]
+    assert buf.read_line(1) == b"\xaa" * 16 + b"\x00" * 48  # padded
+
+
+def test_write_spanning_lines():
+    buf = ReorganizationBuffer(capacity=256)
+    buf.reset(128)
+    done = buf.write(32, bytes(64))  # touches lines 0 and 1
+    assert done == []
+    buf.write(0, bytes(32))
+    buf.write(96, bytes(32))
+    assert buf.ready_lines == 2
+
+
+def test_overfill_detected():
+    buf = ReorganizationBuffer(capacity=128)
+    buf.reset(64)
+    buf.write(0, bytes(64))
+    with pytest.raises(SimulationError):
+        buf.write(0, bytes(16))
+
+
+def test_out_of_projection_write_rejected():
+    buf = ReorganizationBuffer(capacity=128)
+    buf.reset(64)
+    with pytest.raises(SimulationError):
+        buf.write(60, bytes(8))
+
+
+def test_read_before_complete_rejected():
+    buf = ReorganizationBuffer(capacity=128)
+    buf.reset(128)
+    buf.write(0, bytes(16))
+    with pytest.raises(SimulationError):
+        buf.read_line(0)
+    with pytest.raises(SimulationError):
+        buf.read_line(7)  # out of range
+
+
+def test_snapshot_requires_completion():
+    buf = ReorganizationBuffer(capacity=128)
+    buf.reset(96)
+    buf.write(0, b"\x07" * 64)
+    with pytest.raises(SimulationError):
+        buf.snapshot()
+    buf.write(64, b"\x08" * 32)
+    assert buf.snapshot() == b"\x07" * 64 + b"\x08" * 32
+
+
+def test_reset_clears_previous_projection():
+    buf = ReorganizationBuffer(capacity=128)
+    buf.reset(64)
+    buf.write(0, b"\xff" * 64)
+    buf.reset(64)
+    assert buf.ready_lines == 0
+    buf.write(0, b"\x01" * 64)
+    assert buf.snapshot() == b"\x01" * 64

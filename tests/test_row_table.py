@@ -1,0 +1,86 @@
+"""Tests for the row-store."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Column, RowTable, Schema, char, int32, int64, uniform_schema
+
+
+def make_table(n=10):
+    table = RowTable("t", uniform_schema(4, 4))
+    for i in range(n):
+        table.append([i, i * 10, -i, i * i])
+    return table
+
+
+def test_append_and_read():
+    table = make_table(5)
+    assert table.n_rows == 5
+    assert len(table) == 5
+    assert table.row(3) == (3, 30, -3, 9)
+    assert table.value(4, "A2") == 40
+    assert table.nbytes == 5 * 16
+
+
+def test_scan_order():
+    table = make_table(4)
+    assert [row[0] for row in table.scan()] == [0, 1, 2, 3]
+
+
+def test_extend():
+    table = RowTable("t", uniform_schema(2, 4))
+    table.extend([[i, -i] for i in range(3)])
+    assert table.n_rows == 3
+
+
+def test_update_row_and_column():
+    table = make_table(3)
+    table.update(1, [100, 200, 300, 400])
+    assert table.row(1) == (100, 200, 300, 400)
+    table.update_column(1, "A3", -7)
+    assert table.row(1) == (100, 200, -7, 400)
+
+
+def test_bounds_checked():
+    table = make_table(2)
+    with pytest.raises(SchemaError):
+        table.row(2)
+    with pytest.raises(SchemaError):
+        table.update(-1, [0, 0, 0, 0])
+
+
+def test_column_values():
+    table = make_table(4)
+    assert table.column_values("A2") == [0, 10, 20, 30]
+
+
+def test_project_bytes_equals_manual_slicing():
+    table = make_table(8)
+    packed = table.project_bytes(["A2", "A3"])
+    raw = table.raw_bytes()
+    manual = b"".join(raw[i * 16 + 4 : i * 16 + 12] for i in range(8))
+    assert packed == manual
+
+
+def test_project_values_any_order():
+    table = make_table(3)
+    assert table.project_values(["A3", "A1"]) == [(0, 0), (-1, 1), (-2, 2)]
+
+
+def test_project_bytes_noncontiguous_packs_runs():
+    table = make_table(4)
+    packed = table.project_bytes(["A1", "A3"])
+    raw = table.raw_bytes()
+    manual = b"".join(
+        raw[i * 16 : i * 16 + 4] + raw[i * 16 + 8 : i * 16 + 12]
+        for i in range(4)
+    )
+    assert packed == manual
+
+
+def test_mixed_schema_listing1_style():
+    schema = Schema([Column("key", int64()), Column("txt", char(8)), Column("num", int32())])
+    table = RowTable("mixed", schema)
+    table.append([1, b"hello", 42])
+    assert table.row(0) == (1, b"hello\x00\x00\x00", 42)
+    assert table.value(0, "num") == 42

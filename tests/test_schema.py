@@ -1,0 +1,140 @@
+"""Tests for column types, schemas and the row codec."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import (
+    Column,
+    Schema,
+    char,
+    float64,
+    int32,
+    int64,
+    listing1_schema,
+    uint32,
+    uniform_schema,
+)
+from repro.storage.schema import intn
+
+
+# -- column types ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ctype,value", [
+    (int64(), -123456789),
+    (int32(), -42),
+    (uint32(), 4_000_000_000),
+    (float64(), 3.14159),
+])
+def test_numeric_roundtrip(ctype, value):
+    assert ctype.unpack(ctype.pack(value)) == value
+    assert len(ctype.pack(value)) == ctype.size
+    assert ctype.is_numeric
+
+
+def test_char_roundtrip_pads():
+    c = char(8)
+    assert c.pack(b"abc") == b"abc\x00\x00\x00\x00\x00"
+    assert c.unpack(b"abc\x00\x00\x00\x00\x00") == b"abc\x00\x00\x00\x00\x00"
+    assert not c.is_numeric
+    with pytest.raises(SchemaError):
+        c.pack(b"way too long for 8")
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6, 8, 16])
+def test_intn_any_width_roundtrip(width):
+    t = intn(width)
+    assert t.size == width
+    bound = (1 << (8 * width - 1)) - 1
+    for value in (-bound, -1, 0, 1, bound):
+        assert t.unpack(t.pack(value)) == value
+
+
+def test_unpack_wrong_size_rejected():
+    with pytest.raises(SchemaError):
+        int32().unpack(b"\x00" * 8)
+
+
+# -- schemas -----------------------------------------------------------------------
+
+
+def test_offsets_accumulate_without_padding():
+    schema = Schema([Column("a", int64()), Column("b", char(12)), Column("c", int32())])
+    assert schema.offset_of("a") == 0
+    assert schema.offset_of("b") == 8
+    assert schema.offset_of("c") == 20
+    assert schema.row_size == 24
+
+
+def test_listing1_layout_matches_paper():
+    schema = listing1_schema()
+    assert schema.row_size == 96
+    assert schema.offset_of("key") == 0
+    assert schema.offset_of("num_fld1") == 64
+    assert schema.offset_of("num_fld4") == 88
+    # Listing 2's ephemeral group: num_fld1..num_fld3 is contiguous,
+    offset, width = schema.column_group(["num_fld1", "num_fld2", "num_fld3"])
+    assert (offset, width) == (64, 24)
+
+
+def test_duplicate_and_unknown_columns():
+    with pytest.raises(SchemaError):
+        Schema([Column("a", int32()), Column("a", int32())])
+    schema = Schema([Column("a", int32())])
+    with pytest.raises(SchemaError):
+        schema.offset_of("b")
+    with pytest.raises(SchemaError):
+        schema.column("b")
+    with pytest.raises(SchemaError):
+        schema.index_of("b")
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        Schema([])
+
+
+def test_column_group_contiguity_enforced():
+    schema = uniform_schema(8, 4)
+    offset, width = schema.column_group(["A2", "A3", "A4"])
+    assert (offset, width) == (4, 12)
+    # Any order is fine, as long as positions are consecutive.
+    assert schema.column_group(["A4", "A2", "A3"]) == (4, 12)
+    with pytest.raises(SchemaError):
+        schema.column_group(["A1", "A3"])  # gap at A2
+    with pytest.raises(SchemaError):
+        schema.column_group([])
+    with pytest.raises(SchemaError):
+        schema.column_group(["A1", "A1"])
+
+
+def test_group_schema_in_schema_order():
+    schema = uniform_schema(8, 4)
+    group = schema.group_schema(["A3", "A2"])
+    assert group.names == ["A2", "A3"]
+    assert group.row_size == 8
+
+
+def test_pack_unpack_row_roundtrip():
+    schema = Schema([Column("k", int64()), Column("t", char(4)), Column("v", int32())])
+    row = (7, b"ab\x00\x00", -5)
+    packed = schema.pack_row(row)
+    assert len(packed) == schema.row_size
+    assert schema.unpack_row(packed) == row
+    assert schema.unpack_column("v", packed) == -5
+
+
+def test_pack_row_arity_checked():
+    schema = uniform_schema(4, 4)
+    with pytest.raises(SchemaError):
+        schema.pack_row([1, 2, 3])
+    with pytest.raises(SchemaError):
+        schema.unpack_row(b"\x00" * 3)
+
+
+def test_uniform_schema_shape():
+    schema = uniform_schema(16, 4)
+    assert len(schema) == 16
+    assert schema.row_size == 64
+    assert schema.names[0] == "A1" and schema.names[-1] == "A16"
+    assert "A5" in schema and "B1" not in schema

@@ -1,0 +1,64 @@
+"""Tests for the column-group helpers (covering runs, multi-run splits)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import listing1_schema, uniform_schema
+
+
+def test_covering_group_spans_gaps():
+    schema = listing1_schema()
+    offset, width = schema.covering_group(["num_fld1", "num_fld3"])
+    assert offset == 64
+    assert width == 24  # fld1 (8) + fld2 (8) + fld3 (8)
+
+
+def test_covering_group_single_column():
+    schema = uniform_schema(8, 4)
+    assert schema.covering_group(["A3"]) == (8, 4)
+
+
+def test_covering_columns_lists_the_run():
+    schema = listing1_schema()
+    run = schema.covering_columns(["num_fld4", "num_fld1"])
+    assert run == ["num_fld1", "num_fld2", "num_fld3", "num_fld4"]
+
+
+def test_column_runs_contiguous_is_one_run():
+    schema = uniform_schema(8, 4)
+    assert schema.column_runs(["A2", "A3", "A4"]) == [(4, 12)]
+
+
+def test_column_runs_splits_at_gaps():
+    schema = uniform_schema(8, 4)
+    runs = schema.column_runs(["A1", "A2", "A5", "A8"])
+    assert runs == [(0, 8), (16, 4), (28, 4)]
+
+
+def test_column_runs_order_independent():
+    schema = uniform_schema(8, 4)
+    assert schema.column_runs(["A8", "A1", "A5", "A2"]) == \
+        schema.column_runs(["A1", "A2", "A5", "A8"])
+
+
+def test_column_runs_validation():
+    schema = uniform_schema(4, 4)
+    with pytest.raises(SchemaError):
+        schema.column_runs([])
+    with pytest.raises(SchemaError):
+        schema.column_runs(["A1", "A1"])
+    with pytest.raises(SchemaError):
+        schema.column_runs(["nope"])
+
+
+def test_subset_schema_keeps_schema_order():
+    schema = listing1_schema()
+    subset = schema.subset_schema(["num_fld4", "key", "num_fld2"])
+    assert subset.names == ["key", "num_fld2", "num_fld4"]
+    assert subset.row_size == 24
+
+
+def test_subset_schema_rejects_duplicates():
+    schema = uniform_schema(4, 4)
+    with pytest.raises(SchemaError):
+        schema.subset_schema(["A1", "A1"])

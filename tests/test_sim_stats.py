@@ -1,0 +1,57 @@
+"""Tests for the statistics counters."""
+
+from repro.sim import Counter, StatSet
+
+
+def test_counter_counts_and_totals():
+    counter = Counter("bytes")
+    counter.add(64)
+    counter.add(16)
+    assert counter.count == 2
+    assert counter.total == 80
+    assert counter.mean == 40
+
+
+def test_counter_mean_empty_is_zero():
+    assert Counter("x").mean == 0.0
+
+
+def test_counter_reset():
+    counter = Counter("x")
+    counter.add(3)
+    counter.reset()
+    assert counter.count == 0 and counter.total == 0
+
+
+def test_statset_lazy_creation_and_bump():
+    stats = StatSet("dram")
+    stats.bump("hits")
+    stats.bump("hits", 2.0)
+    assert stats.count("hits") == 2
+    assert stats.total("hits") == 3.0
+    assert stats.count("never") == 0
+    assert stats.total("never") == 0.0
+
+
+def test_statset_as_dict_sorted():
+    stats = StatSet("x")
+    stats.bump("b")
+    stats.bump("a", 5)
+    snapshot = stats.as_dict()
+    assert list(snapshot) == ["a", "b"]
+    assert snapshot["a"] == {"count": 1, "total": 5}
+
+
+def test_statset_reset_keeps_names():
+    stats = StatSet("x")
+    stats.bump("a", 10)
+    stats.reset()
+    assert stats.count("a") == 0
+    assert "a" in stats.as_dict()
+
+
+def test_statset_iteration_sorted():
+    stats = StatSet("x")
+    for name in ("c", "a", "b"):
+        stats.bump(name)
+    assert [name for name, _ in stats] == ["a", "b", "c"]

@@ -1,0 +1,155 @@
+"""Tests for the SQL front-end."""
+
+import pytest
+
+from repro import QueryExecutor, RelationalMemorySystem, parse_query
+from repro.errors import QueryError
+from repro.query.queries import q1, q2, q4, q5, q6, q7
+from tests.conftest import build_relation
+
+
+# -- parsing ---------------------------------------------------------------------
+
+
+def test_projection():
+    query = parse_query("SELECT A1, A2 FROM S")
+    assert query.select == ("A1", "A2")
+    assert query.aggregate is None
+    assert query.predicate is None
+
+
+def test_aggregate_with_expression():
+    query = parse_query(
+        "SELECT SUM(num_fld1 * num_fld4) FROM the_table WHERE num_fld3 > 10"
+    )
+    assert query.aggregate == "sum"
+    assert query.agg_expr.eval({"num_fld1": 3, "num_fld4": 4}) == 12
+    assert query.predicate.eval({"num_fld3": 11})
+    assert not query.predicate.eval({"num_fld3": 10})
+
+
+def test_group_by():
+    query = parse_query("SELECT AVG(A1) FROM S WHERE A3 < 5 GROUP BY A2")
+    assert query.aggregate == "avg"
+    assert query.group_by == "A2"
+    assert set(query.columns()) == {"A1", "A2", "A3"}
+
+
+def test_std_is_two_pass():
+    assert parse_query("SELECT STD(A1) FROM S").passes == 2
+    assert parse_query("SELECT SUM(A1) FROM S").passes == 1
+
+
+@pytest.mark.parametrize("agg", ["SUM", "AVG", "COUNT", "MIN", "MAX", "STD"])
+def test_all_aggregates_parse(agg):
+    query = parse_query(f"SELECT {agg}(A1) FROM S")
+    assert query.aggregate == agg.lower()
+
+
+def test_keywords_case_insensitive():
+    query = parse_query("select sum(A1) from s where A2 > 0 group by A3")
+    assert query.aggregate == "sum" and query.group_by == "A3"
+
+
+def test_and_or_precedence():
+    query = parse_query("SELECT A1 FROM S WHERE A1 > 0 AND A2 > 0 OR A3 > 0")
+    # AND binds tighter: (A1>0 AND A2>0) OR A3>0.
+    assert query.predicate.eval({"A1": 0, "A2": 0, "A3": 1})
+    assert not query.predicate.eval({"A1": 1, "A2": 0, "A3": 0})
+
+
+def test_parenthesised_predicate():
+    query = parse_query("SELECT A1 FROM S WHERE A1 > 0 AND (A2 > 0 OR A3 > 0)")
+    assert not query.predicate.eval({"A1": 1, "A2": 0, "A3": 0}) or True
+    assert query.predicate.eval({"A1": 1, "A2": 0, "A3": 1})
+    assert not query.predicate.eval({"A1": 0, "A2": 1, "A3": 1})
+
+
+def test_arithmetic_precedence():
+    query = parse_query("SELECT SUM(A1 + A2 * 2) FROM S")
+    assert query.agg_expr.eval({"A1": 1, "A2": 3}) == 7
+
+
+def test_unary_minus_and_floats():
+    query = parse_query("SELECT A1 FROM S WHERE A2 > -1.5")
+    assert query.predicate.eval({"A2": -1})
+    assert not query.predicate.eval({"A2": -2})
+
+
+def test_comparison_spellings():
+    eq = parse_query("SELECT A1 FROM S WHERE A2 = 5")
+    assert eq.predicate.eval({"A2": 5})
+    ne = parse_query("SELECT A1 FROM S WHERE A2 <> 5")
+    assert ne.predicate.eval({"A2": 4})
+
+
+def test_trailing_semicolon_ok():
+    parse_query("SELECT A1 FROM S;")
+
+
+def test_column_named_like_aggregate():
+    query = parse_query("SELECT sum FROM S")  # a column literally named sum
+    assert query.select == ("sum",)
+    assert query.aggregate is None
+
+
+@pytest.mark.parametrize("bad", [
+    "SELECT FROM S",
+    "SELECT A1 S",
+    "A1 FROM S",
+    "SELECT A1 FROM S WHERE",
+    "SELECT A1 FROM S GROUP BY A2",      # group by without aggregate
+    "SELECT A1 FROM S trailing garbage junk",
+    "SELECT SUM(A1 FROM S",
+    "SELECT A1 FROM S WHERE A2 > $",
+])
+def test_syntax_errors(bad):
+    with pytest.raises(QueryError):
+        parse_query(bad)
+
+
+# -- parsed queries behave like the hand-built benchmark ------------------------------
+
+
+PAIRS = [
+    ("SELECT A1 FROM S", q1()),
+    ("SELECT A1 FROM S WHERE A2 > 0", q2(k=0)),
+    ("SELECT SUM(A1) FROM S", q4()),
+    ("SELECT SUM(A2) FROM S WHERE A1 < 0", q5(k=0)),
+    ("SELECT AVG(A1) FROM S WHERE A3 < 0 GROUP BY A2", q6(k=0)),
+    ("SELECT STD(A1) FROM S", q7()),
+]
+
+
+@pytest.mark.parametrize("sql,reference", PAIRS, ids=[p[1].name for p in PAIRS])
+def test_parsed_queries_match_builtins(sql, reference):
+    table = build_relation(n_rows=64)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    executor = QueryExecutor(system)
+    parsed_result = executor.run_direct(parse_query(sql), loaded)
+    builtin_result = executor.run_direct(reference, loaded)
+    assert parsed_result.value == builtin_result.value
+
+
+def test_parsed_query_through_rme():
+    table = build_relation(n_rows=128)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    query = parse_query("SELECT SUM(A1 * A2) FROM S WHERE A3 > 0")
+    var = system.register_var(loaded, ["A1", "A2", "A3"])
+    executor = QueryExecutor(system)
+    via_rme = executor.run_rme(query, var)
+    via_direct = executor.run_direct(query, loaded)
+    assert via_rme.value == via_direct.value
+
+
+def test_min_max_count():
+    table = build_relation(n_rows=64)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    executor = QueryExecutor(system)
+    values = table.column_values("A1")
+    assert executor.run_direct(parse_query("SELECT MIN(A1) FROM S"), loaded).value == min(values)
+    assert executor.run_direct(parse_query("SELECT MAX(A1) FROM S"), loaded).value == max(values)
+    assert executor.run_direct(parse_query("SELECT COUNT(A1) FROM S"), loaded).value == 64

@@ -1,0 +1,78 @@
+"""Tests for the optional event tracer."""
+
+import pytest
+
+from repro import RelationalMemorySystem, QueryExecutor, q4
+from repro.errors import SimulationError
+from repro.sim import Simulator, Tracer
+from repro.sim.trace import emit
+from tests.conftest import build_relation
+
+
+def test_record_and_filter():
+    tracer = Tracer()
+    tracer.record(1.0, "a", "x", value=1)
+    tracer.record(2.0, "b", "x")
+    tracer.record(3.0, "a", "y")
+    assert len(tracer) == 3
+    assert len(tracer.filter(component="a")) == 2
+    assert len(tracer.filter(event="x")) == 2
+    assert len(tracer.filter(component="a", event="x")) == 1
+    assert len(tracer.filter(since=2.5)) == 1
+    assert tracer.count("x") == 2
+
+
+def test_capacity_bounds_memory():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.record(float(i), "c", "e")
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(SimulationError):
+        Tracer(capacity=0)
+
+
+def test_render_contains_events():
+    tracer = Tracer()
+    tracer.record(10.0, "trapper", "buffer_hit", line=3)
+    text = tracer.render()
+    assert "trapper" in text and "buffer_hit" in text and "line=3" in text
+
+
+def test_emit_noop_without_tracer():
+    sim = Simulator()
+    emit(sim, "x", "y")  # must not raise nor allocate a tracer
+    assert sim.tracer is None
+
+
+def test_rme_traces_query_execution():
+    system = RelationalMemorySystem()
+    system.sim.tracer = Tracer()
+    loaded = system.load_table(build_relation(n_rows=128))
+    var = system.register_var(loaded, ["A1"])
+    executor = QueryExecutor(system)
+    executor.run_rme(q4(), var)
+
+    tracer = system.sim.tracer
+    assert tracer.count("configure") == 1
+    assert tracer.count("pipeline_start") == 1
+    assert tracer.count("buffer_miss") > 0
+    hot = executor.run_rme(q4(), var)
+    assert tracer.count("buffer_hit") > 0
+    del hot
+
+
+def test_windowed_run_traces_switches():
+    system = RelationalMemorySystem(buffer_capacity=2048)
+    system.sim.tracer = Tracer()
+    loaded = system.load_table(build_relation(n_rows=2048))
+    var = system.register_var(loaded, ["A1"], windowed=True)
+    QueryExecutor(system).run_rme(q4(), var)
+    switches = system.sim.tracer.filter(event="window_switch")
+    assert len(switches) == 3
+    assert [s.details["to_window"] for s in switches] == [1, 2, 3]
