@@ -76,6 +76,18 @@ def main() -> None:
     print("\nThe hot RME scan matches the columnar copy without ever "
           "materialising the columns in memory.")
 
+    # --- telemetry teaser ---------------------------------------------------
+    trapper = system.metrics.statset("rme.trapper")
+    print(f"\ntrapper latency p50/p99: "
+          f"{trapper.percentile('latency_ns', 50):,.0f} / "
+          f"{trapper.percentile('latency_ns', 99):,.0f} ns over "
+          f"{trapper.count('requests')} trapped lines")
+    print("To see *why* (spans, per-lane timelines, Perfetto export), "
+          "re-run under tracing:\n"
+          "  system.enable_tracing()  /  python -m repro trace ...\n"
+          "— see the README's Observability section and "
+          "docs/observability.md.")
+
 
 if __name__ == "__main__":
     main()

@@ -2,10 +2,14 @@
 
 The harness prints the same rows/series the paper plots; these helpers
 format them as aligned monospace tables (and CSV for downstream tooling).
+Telemetry snapshots (:class:`~repro.sim.MetricsRegistry`) render through
+the same machinery: :func:`render_metrics` for humans,
+:func:`metrics_to_csv` / :func:`metrics_to_json` for files.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Sequence, Tuple
 
 from .runner import FigureResult
@@ -58,3 +62,53 @@ def to_csv(result: FigureResult) -> str:
         row = [str(x)] + [repr(result.series[name][i]) for name in result.series]
         lines.append(",".join(row))
     return "\n".join(lines)
+
+
+# -- telemetry snapshots ----------------------------------------------------------
+
+def metrics_to_csv(registry) -> str:
+    """A :class:`~repro.sim.MetricsRegistry` snapshot as flat CSV.
+
+    One row per metric field, ``component,metric,field,value`` — the
+    dotted registry path is split so spreadsheet pivots work directly.
+    """
+    lines = ["component,metric,field,value"]
+    for path, statset in registry:
+        for metric, value in sorted(statset.as_dict().items()):
+            if isinstance(value, dict):
+                for fld, v in sorted(value.items()):
+                    lines.append(f"{path},{metric},{fld},{v!r}")
+            else:
+                lines.append(f"{path},{metric},value,{value!r}")
+    return "\n".join(lines)
+
+
+def metrics_to_json(registry, indent: int = 2) -> str:
+    """A registry snapshot as a JSON document keyed by dotted path."""
+    return json.dumps(registry.as_dict(), indent=indent, sort_keys=True)
+
+
+def render_metrics(registry, prefix: str = "") -> str:
+    """A registry snapshot as an aligned table, optionally path-filtered.
+
+    ``prefix`` keeps only components at or under that dotted path
+    (``"rme"`` shows ``rme`` and ``rme.trapper`` but not ``dram``).
+    """
+    rows: List[List] = []
+    for path, statset in registry:
+        if prefix and not (path == prefix or path.startswith(prefix + ".")):
+            continue
+        for metric, value in sorted(statset.as_dict().items()):
+            if isinstance(value, dict):
+                detail = "  ".join(f"{k}={_fmt(v)}" for k, v in sorted(value.items()))
+                rows.append([path, metric, detail])
+            else:
+                rows.append([path, metric, _fmt(value)])
+    if not rows:
+        return "(no metrics recorded)"
+    cells = [[str(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(3)]
+    return "\n".join(
+        "  ".join(row[i].ljust(widths[i]) for i in range(3)).rstrip()
+        for row in cells
+    )

@@ -1,10 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows without writing Python:
+Six subcommands cover the common workflows without writing Python:
 
 * ``figures`` — regenerate the paper's figures/tables (all or a subset);
 * ``query`` — run an ad-hoc SQL query over a generated benchmark relation
   on every access path and compare;
+* ``trace`` — run a query with tracing on and export the causal timeline
+  as Chrome trace-event JSON (Perfetto / ``chrome://tracing`` loadable);
+* ``stats`` — run a query and dump the telemetry registry (table, JSON
+  or CSV): counters, gauges and latency percentiles per component;
 * ``resources`` — print the Table-3 style FPGA estimate for a design;
 * ``info`` — dump the simulated platform configuration.
 """
@@ -18,7 +22,13 @@ from typing import Callable, Dict, List, Optional
 from . import __version__
 from .bench import extensions as extension_drivers
 from .bench import figures as figure_drivers
-from .bench.report import render_figure, render_table
+from .bench.report import (
+    metrics_to_csv,
+    metrics_to_json,
+    render_figure,
+    render_metrics,
+    render_table,
+)
 from .bench.workloads import make_relation
 from .config import ZCU102
 from .core.relmem import RelationalMemorySystem
@@ -27,6 +37,7 @@ from .query.executor import QueryExecutor
 from .query.sql import parse_query
 from .rme.designs import ALL_DESIGNS, design_by_name
 from .rme.resources import estimate_resources
+from .sim.trace import write_chrome_trace
 
 #: figure name -> (driver kwargs builder, normalizer)
 _FIGURES: Dict[str, Callable] = {
@@ -76,6 +87,42 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--width", type=int, default=4,
                        help="bytes per column (default 4)")
     query.add_argument("--seed", type=int, default=42)
+
+    def _adhoc_args(sub):
+        sub.add_argument("sql", help='e.g. "SELECT SUM(A1) FROM S WHERE A2 > 0"')
+        sub.add_argument("--rows", type=int, default=2048,
+                         help="rows in the generated relation S (default 2048)")
+        sub.add_argument("--cols", type=int, default=16,
+                         help="columns in S (default 16)")
+        sub.add_argument("--width", type=int, default=4,
+                         help="bytes per column (default 4)")
+        sub.add_argument("--seed", type=int, default=42)
+        sub.add_argument("--design", default="MLP",
+                         help="BSL, PCK or MLP (default MLP)")
+        sub.add_argument("--hot", action="store_true",
+                         help="run the query twice and report the second "
+                              "(buffer-hot) execution")
+
+    trace = commands.add_parser(
+        "trace", help="trace a query and export Chrome trace JSON")
+    _adhoc_args(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event JSON path (default trace.json)")
+    trace.add_argument("--tail", type=int, default=20,
+                       help="trace lines to print (default 20)")
+    trace.add_argument("--component", default=None,
+                       help="only print records of this component "
+                            "(e.g. trapper, dram, fetch-0)")
+    trace.add_argument("--capacity", type=int, default=1_000_000,
+                       help="tracer ring-buffer capacity (default 1000000)")
+
+    stats = commands.add_parser(
+        "stats", help="run a query and dump the telemetry registry")
+    _adhoc_args(stats)
+    stats.add_argument("--prefix", default="",
+                       help='only components at/under this path (e.g. "rme")')
+    stats.add_argument("--format", choices=("table", "json", "csv"),
+                       default="table", help="output format (default table)")
 
     resources = commands.add_parser("resources", help="Table-3 style estimate")
     resources.add_argument("--design", default="MLP",
@@ -151,6 +198,81 @@ def _cmd_query(args, out) -> int:
     return 0
 
 
+def _adhoc_rme_run(args, out):
+    """Shared setup of ``trace``/``stats``: run the SQL on the RME path.
+
+    Returns ``(system, result)`` or ``None`` after printing a usage error.
+    """
+    query = parse_query(args.sql)
+    table = make_relation(args.rows, n_cols=args.cols, col_width=args.width,
+                          seed=args.seed)
+    missing = [c for c in query.columns() if c not in table.schema]
+    if missing:
+        print(f"query references {missing}, but S has columns "
+              f"A1..A{args.cols}", file=out)
+        return None
+    design = design_by_name(args.design)
+    system = RelationalMemorySystem(design=design)
+    loaded = system.load_table(table)
+    executor = QueryExecutor(system)
+    var = system.register_var(loaded, query.columns(), allow_noncontiguous=True)
+    result = executor.run_rme(query, var)
+    if args.hot:
+        result = executor.run_rme(query, var)
+    return system, result, design.name
+
+
+def _cmd_trace(args, out) -> int:
+    # Mirrors _adhoc_rme_run, but the tracer must attach between system
+    # construction and the first access, so the setup is inlined here.
+    query = parse_query(args.sql)
+    table = make_relation(args.rows, n_cols=args.cols, col_width=args.width,
+                          seed=args.seed)
+    missing = [c for c in query.columns() if c not in table.schema]
+    if missing:
+        print(f"query references {missing}, but S has columns "
+              f"A1..A{args.cols}", file=out)
+        return 2
+    design = design_by_name(args.design)
+    system = RelationalMemorySystem(design=design)
+    tracer = system.enable_tracing(capacity=args.capacity)
+    loaded = system.load_table(table)
+    executor = QueryExecutor(system)
+    var = system.register_var(loaded, query.columns(), allow_noncontiguous=True)
+    result = executor.run_rme(query, var)
+    if args.hot:
+        tracer.clear()
+        result = executor.run_rme(query, var)
+
+    print(f"answer: {_short(result.value)}", file=out)
+    print(f"elapsed: {result.elapsed_ns:.0f} simulated ns "
+          f"({design.name} {'hot' if args.hot else 'cold'})", file=out)
+    filters = {"component": args.component} if args.component else {}
+    print(tracer.render(limit=args.tail, **filters), file=out)
+    exported = write_chrome_trace(tracer, args.out)
+    dropped = f" ({tracer.dropped} older records dropped)" if tracer.dropped else ""
+    print(f"wrote {exported} records to {args.out}{dropped} — open in "
+          "https://ui.perfetto.dev or chrome://tracing", file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    run = _adhoc_rme_run(args, out)
+    if run is None:
+        return 2
+    system, result, design_name = run
+    if args.format == "json":
+        print(metrics_to_json(system.metrics), file=out)
+    elif args.format == "csv":
+        print(metrics_to_csv(system.metrics), file=out)
+    else:
+        print(f"answer: {_short(result.value)}", file=out)
+        print(f"elapsed: {result.elapsed_ns:.0f} simulated ns "
+              f"({design_name} {'hot' if args.hot else 'cold'})", file=out)
+        print(render_metrics(system.metrics, prefix=args.prefix), file=out)
+    return 0
+
+
 def _short(value) -> str:
     text = repr(value)
     return text if len(text) <= 200 else text[:200] + "..."
@@ -193,6 +315,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     handler = {
         "figures": _cmd_figures,
         "query": _cmd_query,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
         "resources": _cmd_resources,
         "info": _cmd_info,
     }[args.command]

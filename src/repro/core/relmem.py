@@ -33,7 +33,7 @@ from ..memsys.memmap import MemoryMap, PhysicalMemory, Region
 from ..rme.designs import MLP, DesignParams
 from ..rme.engine import RMEngine
 from ..rme.reorg_buffer import DEFAULT_DATA_CAPACITY
-from ..sim import Simulator
+from ..sim import MetricsRegistry, Simulator, Tracer
 from ..storage.column_table import ColumnTable
 from ..storage.mvcc import VersionedRowTable
 from ..storage.row_table import RowTable
@@ -151,6 +151,40 @@ class RelationalMemorySystem:
         self._tables: Dict[str, LoadedTable] = {}
         self._active_var: Optional[EphemeralVariable] = None
         self._names = itertools.count()
+        self.metrics = self._build_metrics()
+
+    def _build_metrics(self) -> MetricsRegistry:
+        """One registry addressing every component's StatSet by dotted path.
+
+        The Requestor is recreated on every reconfiguration, so it is
+        attached as a provider callable that resolves the current instance
+        (or ``None`` before the first configuration).
+        """
+        registry = MetricsRegistry()
+        registry.attach("dram", self.dram.stats)
+        registry.attach("l2", self.hierarchy.l2.stats)
+        for core, hierarchy in enumerate(self.hierarchies):
+            registry.attach(f"cpu{core}", hierarchy.stats)
+            registry.attach(f"cpu{core}.l1", hierarchy.l1.stats)
+            registry.attach(f"cpu{core}.prefetcher", hierarchy.prefetcher.stats)
+        registry.attach("rme", self.rme.stats)
+        registry.attach("rme.trapper", self.rme.trapper.stats)
+        registry.attach("rme.monitor", self.rme.monitor.stats)
+        registry.attach("rme.fetch", self.rme.fetch_pool.stats)
+        registry.attach("rme.buffer", self.rme.buffer.stats)
+        registry.attach(
+            "rme.requestor",
+            lambda: self.rme.requestor.stats if self.rme.requestor else None,
+        )
+        return registry
+
+    def enable_tracing(self, capacity: int = 100_000) -> Tracer:
+        """Attach a :class:`~repro.sim.Tracer` so components emit events
+        and spans; returns it. Call before the accesses you want to see.
+        Tracing never changes simulated timing — only bookkeeping runs."""
+        tracer = Tracer(capacity=capacity)
+        tracer.attach(self.sim)
+        return tracer
 
     # -- loading relations ------------------------------------------------------------
     def load_table(

@@ -19,6 +19,7 @@ from typing import Iterable, List
 
 from ..errors import ConfigurationError
 from ..sim import Simulator
+from ..sim.trace import emit_span
 from .hierarchy import MemoryHierarchy
 
 
@@ -73,6 +74,7 @@ class ScanDriver:
         return self.sim.now - start_time
 
     def _run_segment(self, segment: ScanSegment):
+        segment_start = self.sim.now
         line = self.hierarchy.line_size
         index = 0
         while index < segment.n_elems:
@@ -88,6 +90,8 @@ class ScanDriver:
             if segment.compute_ns:
                 yield self.sim.timeout(batch * segment.compute_ns)
             index += batch
+        emit_span(self.sim, "scan", "segment", segment_start,
+                  name=segment.name, elems=segment.n_elems)
 
     def run_points(self, points, compute_ns: float = 0.0):
         """A process touching arbitrary ``(addr, nbytes)`` accesses in order.
@@ -101,6 +105,7 @@ class ScanDriver:
             yield from self.hierarchy.load(addr, max(1, nbytes))
             if compute_ns:
                 yield self.sim.timeout(compute_ns)
+        emit_span(self.sim, "scan", "points", start_time, n=len(points))
         return self.sim.now - start_time
 
     @staticmethod

@@ -29,6 +29,7 @@ from typing import List, Tuple
 from ..config import DRAMTimings
 from ..errors import SimulationError
 from ..sim import Simulator, StatSet
+from ..sim.trace import emit_span
 from .memmap import PhysicalMemory
 
 
@@ -86,19 +87,23 @@ class DRAM:
         bank = self._banks[bank_idx]
         beats = self.beats_for(addr, nbytes)
 
+        arrival = self.sim.now
         arrive = self.sim.now + t.t_controller
         start = max(arrive, bank.ready_at)
         if bank.open_row == row_id:
             first_beat_ready = start + t.t_cas
             command_occupancy = t.t_ccd
+            row_state = "hit"
             self.stats.bump("row_hits")
         elif bank.open_row < 0:
             first_beat_ready = start + t.t_rcd + t.t_cas
             command_occupancy = t.t_rcd + t.t_ccd
+            row_state = "empty"
             self.stats.bump("row_empty")
         else:
             first_beat_ready = start + t.t_rp + t.t_rcd + t.t_cas
             command_occupancy = t.t_rp + t.t_rcd + t.t_ccd
+            row_state = "miss"
             self.stats.bump("row_misses")
         bank.open_row = row_id
 
@@ -114,8 +119,11 @@ class DRAM:
         self.stats.bump("bytes_" + source, nbytes)
         self.stats.bump("beats", beats)
         self.stats.bump("service_ns", transfer_end - self.sim.now)
+        self.stats.observe("service_latency_ns", transfer_end - self.sim.now)
 
         yield self.sim.timeout(transfer_end - self.sim.now)
+        emit_span(self.sim, self.name, "access", arrival,
+                  bank=bank_idx, row=row_state, beats=beats, source=source)
         return self.memory.read(addr, nbytes)
 
     def write(self, addr: int, nbytes: int, source: str = "writeback"):

@@ -16,7 +16,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import PlatformConfig
 from ..errors import MemoryMapError
-from ..sim import Event, Resource, Simulator
+from ..sim import Event, Resource, Simulator, StatSet
+from ..sim.trace import emit_span
 from .cache import Cache
 from .memmap import Region
 from .prefetcher import StreamPrefetcher
@@ -78,6 +79,7 @@ class MemoryHierarchy:
         self.line_size = platform.cache_line
         self.l1 = Cache(f"l1.{core_id}" if core_id else "l1", platform.l1)
         self.l2 = shared_l2 if shared_l2 is not None else Cache("l2", platform.l2)
+        self.stats = StatSet(f"cpu{core_id}")
         self.prefetcher = StreamPrefetcher(
             self.line_size,
             platform.prefetch_degree,
@@ -172,9 +174,14 @@ class MemoryHierarchy:
                 self._fill_l1(line_base)
             else:
                 backend = self.route(line_base)
+                fill_start = self.sim.now
+                dest = "dram" if isinstance(backend, DRAMBackend) else "pl"
                 yield self.sim.timeout(cfg.l1_hit_ns + cfg.l2_hit_ns)
                 source = "cpu" if demand else "prefetch"
                 result = yield from backend.read_line(line_base, source=source)
+                self.stats.observe("fill_ns", self.sim.now - fill_start)
+                emit_span(self.sim, f"cpu{self.core_id}", "line_fill",
+                          fill_start, dest=dest, source=source)
                 if result is DECLINED:
                     filled = False
                     self.l1.stats.bump("fills_declined")
@@ -279,3 +286,4 @@ class MemoryHierarchy:
         self.l1.stats.reset()
         self.l2.stats.reset()
         self.prefetcher.stats.reset()
+        self.stats.reset()

@@ -35,7 +35,7 @@ from ..config import PlatformConfig, RMEConfig
 from ..errors import ConfigurationError, MemoryMapError
 from ..memsys.dram import DRAM
 from ..sim import Simulator, StatSet, Store
-from ..sim.trace import emit
+from ..sim.trace import emit, emit_span
 from .designs import MLP, DesignParams
 from .fetch_unit import FetchUnitPool
 from .geometry import TableGeometry
@@ -170,6 +170,8 @@ class RMEngine:
         )
         self.requestor = None
         self.stats.bump("configurations")
+        self.stats.set_gauge("projected_bytes", self._projected_total)
+        self.stats.set_gauge("n_windows", self._n_windows)
         emit(
             self.sim, "rme", "configure",
             rows=config.row_count, width=config.col_width,
@@ -293,7 +295,9 @@ class RMEngine:
         for index in range(workers):
             worker_procs.append(
                 self.sim.process(
-                    self.fetch_pool.worker(dispatch, self.requestor, session),
+                    self.fetch_pool.worker(
+                        dispatch, self.requestor, session, lane=index
+                    ),
                     name=f"fetch-{index}",
                 )
             )
@@ -377,11 +381,14 @@ class RMEngine:
 
     def _switch_window(self, window: int):
         """A process: re-initialise the buffer for another window."""
+        reinit_start = self.sim.now
         self.stats.bump("window_switches")
         emit(self.sim, "rme", "window_switch",
              from_window=self._current_window, to_window=window)
         self._cancel_session()
         yield self.sim.timeout(self.platform.window_reinit_ns)
+        emit_span(self.sim, "rme", "window_reinit", reinit_start,
+                  to_window=window)
         self.buffer.reset(self._window_size(window))
         self.monitor.invalidate_waiters()
         self._current_window = window

@@ -22,6 +22,7 @@ from __future__ import annotations
 from ..config import PlatformConfig
 from ..memsys.dram import DRAM
 from ..sim import Simulator, StatSet, Store
+from ..sim.trace import emit_span
 from .designs import DesignParams
 from .monitor_bypass import MonitorBypass
 from .requestor import STOP, Requestor
@@ -72,17 +73,21 @@ class FetchUnitPool:
         return cfg.pl_cycles(cfg.monitor_write_cycles)
 
     # -- the worker process -----------------------------------------------------------
-    def worker(self, dispatch: Store, requestor: Requestor, session=None):
+    def worker(self, dispatch: Store, requestor: Requestor, session=None,
+               lane: int = 0):
         """One Fetch Unit: loop on descriptors until the STOP sentinel.
 
         ``session`` (windowed mode) carries a ``cancelled`` flag checked
         before every buffer write — a cancelled window's in-flight data is
         dropped on the floor, like a real engine abandoning a DMA — and a
         ``w_bias`` subtracted from descriptor write addresses so buffer
-        offsets are window-relative.
+        offsets are window-relative. ``lane`` names the worker's trace
+        lane (``fetch-0`` .. ``fetch-15``) so concurrent descriptors show
+        up side by side in the exported timeline.
         """
         cfg = self.platform
         travel = cfg.pl_dram_latency_ns / 2.0
+        lane_name = f"fetch-{lane}"
         while True:
             descriptor = yield dispatch.get()
             if descriptor is STOP:
@@ -90,13 +95,16 @@ class FetchUnitPool:
             if session is not None and session.cancelled:
                 requestor.retire()
                 continue
+            service_start = self.sim.now
             # Reader: occupy the issue port, then the long PL->DRAM path.
             yield self.sim.timeout(self._reserve_issue_port())
             yield self.sim.timeout(travel)
             read_bytes = min(descriptor.read_bytes, self.read_limit - descriptor.r_addr)
+            dram_start = self.sim.now
             payload = yield from self.dram.access(
                 descriptor.r_addr, read_bytes, source="rme"
             )
+            self.stats.observe("dram_wait_ns", self.sim.now - dram_start)
             yield self.sim.timeout(travel)
             # Column Extractor: one cycle, plus one per extra beat it must
             # accumulate before the output is valid.
@@ -112,6 +120,9 @@ class FetchUnitPool:
                 continue
             if self.result_sink is not None:
                 yield from self.result_sink(descriptor, useful, session)
+                self.stats.observe("service_ns", self.sim.now - service_start)
+                emit_span(self.sim, lane_name, "descriptor", service_start,
+                          row=descriptor.row, bytes=len(useful))
                 requestor.retire()
                 continue
             w_addr = descriptor.w_addr - (session.w_bias if session else 0)
@@ -123,6 +134,9 @@ class FetchUnitPool:
                 yield from write
             else:
                 self.sim.process(write, name="writer")
+            self.stats.observe("service_ns", self.sim.now - service_start)
+            emit_span(self.sim, lane_name, "descriptor", service_start,
+                      row=descriptor.row, bytes=len(useful))
             requestor.retire()
 
     # -- introspection -------------------------------------------------------------------

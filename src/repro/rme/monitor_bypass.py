@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..sim import Event, Simulator, StatSet
+from ..sim.trace import emit, emit_span
 from .reorg_buffer import ReorganizationBuffer
 
 
@@ -86,18 +87,23 @@ class MonitorBypass:
         write retires. A write whose ``session`` was cancelled while it
         waited for the port is dropped (windowed-mode reconfiguration).
         """
+        arrival = self.sim.now
         start = max(self.sim.now, self._write_port_free_at)
         end = start + port_cycles_ns
         self._write_port_free_at = end
         self.stats.bump("writes")
         self.stats.bump("write_port_busy_ns", port_cycles_ns)
+        # Queueing delay behind other Fetch Units = packer/port occupancy.
+        self.stats.observe("port_wait_ns", start - arrival)
         yield self.sim.timeout(end - self.sim.now)
+        emit_span(self.sim, "write_port", "write", start, bytes=len(data))
         if session is not None and session.cancelled:
             self.stats.bump("writes_dropped")
             return []
         completed = self.buffer.write(offset, data)
         for line_idx in completed:
             self.stats.bump("lines_completed")
+            emit(self.sim, "monitor", "line_complete", line=line_idx)
             for event in self._waiters.pop(line_idx, []):
                 event.succeed()
         return completed

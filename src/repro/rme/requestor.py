@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..config import PlatformConfig
 from ..sim import Resource, Simulator, StatSet, Store
+from ..sim.trace import emit_span
 from .geometry import TableGeometry
 
 #: Sentinel pushed once per fetch worker when the projection is done.
@@ -38,6 +39,7 @@ class Requestor:
         self.platform = platform
         self.dispatch = dispatch
         self.n_consumers = n_consumers
+        self.name = name
         self.stats = StatSet(name)
         #: Two credits per consumer keep a double-buffered hand-off without
         #: letting the Requestor run arbitrarily far ahead of the fetches.
@@ -52,18 +54,25 @@ class Requestor:
         (windowed mode) stops promptly.
         """
         pace = self.platform.pl_cycles(self.platform.requestor_cycles)
+        stream_start = self.sim.now
         emitted = 0
         for descriptor in geometry.descriptors(rows):
             if should_stop is not None and should_stop():
                 break
             yield self.sim.timeout(pace)
+            credit_wait = self.sim.now
             yield self.credits.acquire()
+            # Time blocked on fetch-unit credits = how far the Requestor
+            # outruns the Fetch Units ("all the Fetch Units are busy").
+            self.stats.observe("credit_wait_ns", self.sim.now - credit_wait)
             self.dispatch.put(descriptor)
             emitted += 1
             self.stats.bump("descriptors")
             self.stats.bump("burst_beats", descriptor.burst)
         for _ in range(self.n_consumers):
             self.dispatch.put(STOP)
+        emit_span(self.sim, "requestor", "descriptor_stream", stream_start,
+                  descriptors=emitted)
         return emitted
 
     def retire(self) -> None:

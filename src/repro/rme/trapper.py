@@ -18,7 +18,7 @@ from __future__ import annotations
 from ..config import PlatformConfig
 from ..memsys.cdc import ClockDomain
 from ..sim import Simulator, StatSet
-from ..sim.trace import emit
+from ..sim.trace import emit, emit_span
 from .monitor_bypass import MonitorBypass
 from .reorg_buffer import ReorganizationBuffer
 
@@ -45,6 +45,7 @@ class Trapper:
     def read_line(self, line_idx: int):
         """A process serving one trapped cache-line read; returns the bytes."""
         cfg = self.platform
+        arrival = self.sim.now
         self.stats.bump("requests")
         self.monitor.notice_access()
 
@@ -56,18 +57,25 @@ class Trapper:
         yield self.sim.timeout(cfg.pl_cycles(cfg.pl_txn_overhead_cycles))
 
         if self.monitor.line_ready(line_idx):
+            hit = True
             self.stats.bump("buffer_hits")
             emit(self.sim, "trapper", "buffer_hit", line=line_idx)
         else:
+            hit = False
+            stall_start = self.sim.now
             self.stats.bump("buffer_misses")
             emit(self.sim, "trapper", "buffer_miss", line=line_idx)
             yield self.monitor.wait_line(line_idx)
+            self.stats.observe("stall_ns", self.sim.now - stall_start)
+            emit_span(self.sim, "trapper", "stall", stall_start, line=line_idx)
             if not self.monitor.line_ready(line_idx):
                 # Stale wake: the buffer was re-initialised (windowed mode)
                 # while this request stalled. The caller retries against
                 # the new window state.
                 self.stats.bump("stale_retries")
                 emit(self.sim, "trapper", "stale_retry", line=line_idx)
+                emit_span(self.sim, "trapper", "trap_read", arrival,
+                          line=line_idx, outcome="stale")
                 return None
 
         # BRAM read, then stream the line back over the PS-PL port. The
@@ -80,9 +88,14 @@ class Trapper:
         self._response_port_free_at = end
         self.stats.bump("response_beats", beats)
         yield self.sim.timeout(end - self.sim.now)
+        emit_span(self.sim, "ps_port", "response", start,
+                  line=line_idx, beats=beats)
 
         # Cross back into the PS domain.
         yield self.sim.timeout(cfg.cdc_ns)
+        self.stats.observe("latency_ns", self.sim.now - arrival)
+        emit_span(self.sim, "trapper", "trap_read", arrival,
+                  line=line_idx, outcome="hit" if hit else "filled")
         return self.buffer.read_line(line_idx)
 
     @property

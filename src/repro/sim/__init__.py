@@ -15,13 +15,19 @@ The public surface:
   slots, fetch-unit pool).
 * :class:`Store` — an unbounded FIFO queue for passing items between
   processes (e.g. request descriptors).
-* :class:`Counter`, :class:`StatSet` — cheap statistics counters.
+* :class:`Counter`, :class:`Gauge`, :class:`Histogram`, :class:`StatSet`
+  — cheap statistics instruments.
+* :class:`MetricsRegistry` — the hierarchical directory of every
+  component's StatSet, with tree/flat snapshots for exporters.
+* :class:`Tracer` — the opt-in event/span log, exportable as Chrome
+  trace-event JSON (see :mod:`repro.sim.trace`).
 """
 
 from .engine import Event, Process, Simulator, Timeout
+from .metrics import MetricsRegistry
 from .resources import Resource, Store
-from .stats import Counter, StatSet
-from .trace import TraceRecord, Tracer
+from .stats import Counter, Gauge, Histogram, StatSet
+from .trace import TraceRecord, Tracer, to_chrome_trace, write_chrome_trace
 
 __all__ = [
     "Simulator",
@@ -31,7 +37,12 @@ __all__ = [
     "Resource",
     "Store",
     "Counter",
+    "Gauge",
+    "Histogram",
     "StatSet",
+    "MetricsRegistry",
     "Tracer",
     "TraceRecord",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,118 @@
+"""A hierarchical registry over every component's :class:`StatSet`.
+
+The simulator's components each keep a private :class:`repro.sim.StatSet`;
+before this module existed, reports gathered them ad hoc (``cache_stats``
+here, ``dram.stats`` there). :class:`MetricsRegistry` gives them one
+address space: components (or the system façade) *attach* their sets under
+dotted paths — ``"rme.trapper"``, ``"cpu0.l1"`` — and consumers take one
+snapshot of everything, as a nested tree or a flat table ready for CSV.
+
+Attachment is by reference, so a registry snapshot is always live: it
+reads whatever the counters hold at call time. Components that are
+re-created during a run (the Requestor is rebuilt per fetch window) attach
+a zero-argument *provider* callable instead; the registry resolves it at
+snapshot time and skips it while it returns ``None``.
+
+Nothing in this module touches simulated time: registering, attaching and
+snapshotting are pure bookkeeping, so telemetry can stay wired in without
+moving a single benchmark cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import SimulationError
+from .stats import StatSet
+
+#: An attached entry: the set itself, or a callable resolving to one.
+StatProvider = Union[StatSet, Callable[[], Optional[StatSet]]]
+
+
+class MetricsRegistry:
+    """Dotted-path directory of StatSets with tree and flat snapshots."""
+
+    def __init__(self, name: str = "root"):
+        self.name = name
+        self._entries: Dict[str, StatProvider] = {}
+
+    # -- registration ---------------------------------------------------------
+    def attach(self, path: str, source: StatProvider) -> None:
+        """Register a StatSet (or provider callable) under ``path``.
+
+        Paths are dotted hierarchies (``"rme.trapper"``); re-attaching an
+        existing path raises, which catches double-wiring mistakes.
+        """
+        if not path or path.startswith(".") or path.endswith("."):
+            raise SimulationError(f"invalid metrics path {path!r}")
+        if path in self._entries:
+            raise SimulationError(f"metrics path {path!r} already attached")
+        self._entries[path] = source
+
+    def scope(self, path: str) -> StatSet:
+        """A registry-owned StatSet at ``path``, created on first use.
+
+        For instrumentation that has no natural component home (driver
+        scripts, experiment harnesses): the returned set is attached and
+        shows up in every snapshot.
+        """
+        existing = self._entries.get(path)
+        if existing is not None:
+            if isinstance(existing, StatSet):
+                return existing
+            raise SimulationError(
+                f"metrics path {path!r} is attached to a provider, not a scope"
+            )
+        stats = StatSet(path)
+        self.attach(path, stats)
+        return stats
+
+    def paths(self) -> List[str]:
+        return sorted(self._entries)
+
+    def statset(self, path: str) -> Optional[StatSet]:
+        """Resolve one path (``None`` if absent or its provider is empty)."""
+        source = self._entries.get(path)
+        if source is None or isinstance(source, StatSet):
+            return source
+        return source()
+
+    def __iter__(self) -> Iterator[Tuple[str, StatSet]]:
+        """Live ``(path, statset)`` pairs, sorted, unresolved providers skipped."""
+        for path in sorted(self._entries):
+            stats = self.statset(path)
+            if stats is not None:
+                yield path, stats
+
+    # -- snapshots ------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """``{path: {metric: fields}}`` snapshot of every attached set."""
+        return {path: stats.as_dict() for path, stats in self}
+
+    def tree(self) -> Dict:
+        """The same snapshot nested by dotted path segments."""
+        root: Dict = {}
+        for path, stats in self:
+            node = root
+            for segment in path.split("."):
+                node = node.setdefault(segment, {})
+            node.update(stats.as_dict())
+        return root
+
+    def flat(self) -> Dict[str, float]:
+        """``{"path.metric.field": value}`` — one scalar per line, for CSV."""
+        out: Dict[str, float] = {}
+        for path, stats in self:
+            for metric, fields in stats.as_dict().items():
+                for field, value in fields.items():
+                    out[f"{path}.{metric}.{field}"] = value
+        return out
+
+    # -- lifecycle ------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every attached instrument (between measured runs)."""
+        for _path, stats in self:
+            stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({self.name}: {len(self._entries)} paths)"

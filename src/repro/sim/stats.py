@@ -1,13 +1,23 @@
-"""Lightweight statistics counters shared by all hardware models.
+"""Lightweight statistics instruments shared by all hardware models.
 
-Every component keeps a :class:`StatSet`; the top-level system gathers them
-into the experiment reports (cache requests/misses for Figure 7, DRAM row
-hit rates for the ablation benchmarks, and so on).
+Every component keeps a :class:`StatSet` — a lazily created bag of three
+instrument kinds:
+
+* :class:`Counter` — monotonic count plus an accumulated value;
+* :class:`Gauge` — a last-written level (buffer occupancy, window count);
+* :class:`Histogram` — a log-linear latency distribution with percentile
+  queries (``p50``/``p99`` of DRAM service time, trapper stalls, ...).
+
+The top-level system gathers the sets into a
+:class:`repro.sim.metrics.MetricsRegistry` for the experiment reports
+(cache requests/misses for Figure 7, DRAM row hit rates for the ablation
+benchmarks, latency breakdowns for the observability tooling, and so on).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+import math
+from typing import Dict, Iterator, Optional, Tuple
 
 
 class Counter:
@@ -41,12 +51,149 @@ class Counter:
         return f"Counter({self.name}: count={self.count}, total={self.total:.1f})"
 
 
+class Gauge:
+    """A named level: the last value written, plus the extremes seen."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.min = None
+        self.max = None
+        self.updates = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "value": self.value,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A log-linear histogram: power-of-two ranges, linear sub-buckets.
+
+    Values land in buckets whose width is ``1/subbuckets`` of their
+    power-of-two range, so any percentile estimate is within
+    ``1/subbuckets`` relative error (~6 % at the default 16) of the true
+    value — the HdrHistogram idea, sized for simulation latencies. Exact
+    ``min``/``max``/``mean`` are tracked on the side; percentile results
+    are clamped into ``[min, max]``.
+
+    Non-positive observations (zero-delay events) are counted in a
+    dedicated underflow bucket reported as 0.
+    """
+
+    __slots__ = ("name", "subbuckets", "count", "total", "min", "max",
+                 "_buckets", "_underflow")
+
+    def __init__(self, name: str, subbuckets: int = 16):
+        if subbuckets < 1:
+            raise ValueError("histogram needs at least one sub-bucket")
+        self.name = name
+        self.subbuckets = subbuckets
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[Tuple[int, int], int] = {}
+        self._underflow = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0:
+            self._underflow += 1
+            return
+        mantissa, exponent = math.frexp(value)  # mantissa in [0.5, 1)
+        sub = int((mantissa - 0.5) * 2 * self.subbuckets)
+        key = (exponent, min(sub, self.subbuckets - 1))
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    def _bucket_upper(self, key: Tuple[int, int]) -> float:
+        exponent, sub = key
+        return math.ldexp(0.5 + (sub + 1) / (2 * self.subbuckets), exponent)
+
+    def percentile(self, p: float) -> float:
+        """The value below which ``p`` percent of observations fall.
+
+        Returns the upper edge of the containing bucket, clamped to the
+        exact observed ``[min, max]``; 0.0 when nothing was observed.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        cumulative = self._underflow
+        estimate = 0.0
+        if cumulative < rank:
+            for key in sorted(self._buckets):
+                cumulative += self._buckets[key]
+                if cumulative >= rank:
+                    estimate = self._bucket_upper(key)
+                    break
+        return max(self.min, min(self.max, estimate))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._buckets.clear()
+        self._underflow = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"p50={self.percentile(50):.1f}, p99={self.percentile(99):.1f})")
+
+
 class StatSet:
-    """A named bag of counters, created lazily on first use."""
+    """A named bag of counters, gauges and histograms, created lazily."""
 
     def __init__(self, owner: str):
         self.owner = owner
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -67,16 +214,56 @@ class StatSet:
         counter = self._counters.get(name)
         return counter.total if counter else 0.0
 
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Shorthand for ``stat.gauge(name).set(value)``."""
+        self.gauge(name).set(value)
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand for ``stat.histogram(name).observe(value)``."""
+        self.histogram(name).observe(value)
+
+    def percentile(self, name: str, p: float) -> float:
+        """Percentile of histogram ``name`` (0.0 if never observed)."""
+        histogram = self._histograms.get(name)
+        return histogram.percentile(p) if histogram else 0.0
+
     def reset(self) -> None:
         for counter in self._counters.values():
             counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """Snapshot of all counters, suitable for reports and assertions."""
-        return {
+        """Snapshot of every instrument, suitable for reports and assertions.
+
+        Counters keep their historical ``{"count", "total"}`` shape; gauges
+        and histograms contribute richer dicts (``value``/``min``/``max``
+        and ``count``/``total``/``mean``/``min``/``max``/``p50``/``p90``/
+        ``p99`` respectively), all merged under their instrument name.
+        """
+        snapshot: Dict[str, Dict[str, float]] = {
             name: {"count": c.count, "total": c.total}
-            for name, c in sorted(self._counters.items())
+            for name, c in self._counters.items()
         }
+        for name, gauge in self._gauges.items():
+            snapshot[name] = gauge.as_dict()
+        for name, histogram in self._histograms.items():
+            snapshot[name] = histogram.as_dict()
+        return dict(sorted(snapshot.items()))
 
     def __iter__(self) -> Iterator[Tuple[str, Counter]]:
         return iter(sorted(self._counters.items()))

@@ -1,10 +1,19 @@
-"""Optional event tracing for the simulated hardware.
+"""Optional event and span tracing for the simulated hardware.
 
 Attach a :class:`Tracer` to a simulator (``sim.tracer = Tracer()``) and
-the RME components log their externally visible events — configuration,
-pipeline starts, trapper hits/misses/stalls, packed-line completions,
-window switches — with timestamps. Tracing is off by default and costs a
-single attribute check per hook when disabled.
+the components log their externally visible activity with timestamps:
+
+* **instant events** — configuration, trapper hits/misses/stalls,
+  packed-line completions, window switches (:func:`emit`);
+* **spans** — begin/end pairs recorded as one record with a duration:
+  DRAM accesses, fetch-unit descriptor service, trapped reads, write-port
+  occupancy, cache-line fills, CPU scan segments (:func:`emit_span`).
+
+Tracing is off by default and costs a single attribute check per hook
+when disabled. The log is a **ring buffer**: when ``capacity`` is
+exceeded the *oldest* records are dropped (and counted in ``dropped``) so
+the tail of a long run — usually where the interesting behaviour is — is
+always retained.
 
 Typical debugging session::
 
@@ -13,10 +22,17 @@ Typical debugging session::
     ... run a query ...
     print(system.sim.tracer.render(limit=40))
     misses = system.sim.tracer.filter(event="buffer_miss")
+
+Export for Perfetto / ``chrome://tracing``::
+
+    from repro.sim.trace import write_chrome_trace
+    write_chrome_trace(system.sim.tracer, "query.trace.json")
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -25,33 +41,63 @@ from ..errors import SimulationError
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One timestamped component event."""
+    """One timestamped component event, optionally with a duration.
+
+    ``dur`` is ``None`` for instant events; spans carry the elapsed
+    simulated nanoseconds and ``time`` is the span's *start*.
+    """
 
     time: float
     component: str
     event: str
     details: Dict[str, Any] = field(default_factory=dict)
+    dur: Optional[float] = None
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur is not None
+
+    @property
+    def end(self) -> float:
+        """The record's end time (== ``time`` for instant events)."""
+        return self.time + (self.dur or 0.0)
 
     def format(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in self.details.items())
-        return f"{self.time:12.1f}ns  {self.component:<16} {self.event:<20} {extras}"
+        span = f" [+{self.dur:.1f}ns]" if self.dur is not None else ""
+        return (f"{self.time:12.1f}ns  {self.component:<16} "
+                f"{self.event:<20}{span} {extras}")
 
 
 class Tracer:
-    """A bounded in-memory event log."""
+    """A bounded in-memory event log with ring-buffer overflow.
+
+    The newest ``capacity`` records are kept; older ones are discarded
+    and counted in :attr:`dropped`.
+    """
 
     def __init__(self, capacity: int = 100_000):
         if capacity <= 0:
             raise SimulationError("tracer capacity must be positive")
         self.capacity = capacity
-        self.records: List[TraceRecord] = []
+        self._records: "deque[TraceRecord]" = deque(maxlen=capacity)
         self.dropped = 0
 
-    def record(self, time: float, component: str, event: str, **details) -> None:
-        if len(self.records) >= self.capacity:
-            self.dropped += 1
-            return
-        self.records.append(TraceRecord(time, component, event, details))
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The retained records, oldest first."""
+        return list(self._records)
+
+    def attach(self, sim) -> "Tracer":
+        """Install this tracer on a simulator; returns self for chaining."""
+        sim.tracer = self
+        return self
+
+    def record(self, time: float, component: str, event: str,
+               dur: Optional[float] = None, **details) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1  # deque evicts the oldest on append
+        self._records.append(TraceRecord(time, component, event, details, dur))
 
     # -- querying -----------------------------------------------------------------
     def filter(
@@ -61,18 +107,30 @@ class Tracer:
         since: float = 0.0,
     ) -> List[TraceRecord]:
         return [
-            r for r in self.records
+            r for r in self._records
             if (component is None or r.component == component)
             and (event is None or r.event == event)
             and r.time >= since
         ]
 
     def count(self, event: str) -> int:
-        return sum(1 for r in self.records if r.event == event)
+        return sum(1 for r in self._records if r.event == event)
+
+    def components(self) -> List[str]:
+        """Distinct component names, in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.component, None)
+        return list(seen)
+
+    def span_time(self, component: Optional[str] = None,
+                  event: Optional[str] = None) -> float:
+        """Total duration of the matching spans (busy-time accounting)."""
+        return sum(r.dur for r in self.filter(component, event) if r.dur)
 
     def render(self, limit: int = 50, **filters) -> str:
         """The trace (optionally filtered) as aligned text, newest last."""
-        records = self.filter(**filters) if filters else self.records
+        records = self.filter(**filters) if filters else list(self._records)
         shown = records[-limit:]
         header = f"-- trace: {len(records)} records" + (
             f" (showing last {limit})" if len(records) > limit else ""
@@ -80,15 +138,93 @@ class Tracer:
         return "\n".join([header] + [r.format() for r in shown])
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
         self.dropped = 0
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records)
 
 
 def emit(sim, component: str, event: str, **details) -> None:
-    """Component-side hook: record iff a tracer is attached."""
+    """Component-side hook: record an instant event iff a tracer is attached."""
     tracer = getattr(sim, "tracer", None)
     if tracer is not None:
         tracer.record(sim.now, component, event, **details)
+
+
+def emit_span(sim, component: str, event: str, start: float, **details) -> None:
+    """Record a span that began at ``start`` and ends now.
+
+    Callers capture ``start = sim.now`` (or a reservation's start time)
+    unconditionally — that is the whole cost when tracing is off — and
+    call this at the end of the modelled activity.
+    """
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None:
+        tracer.record(start, component, event, dur=sim.now - start, **details)
+
+
+# -- Chrome trace-event export ---------------------------------------------------
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def to_chrome_trace(tracer: Tracer, pid: int = 0) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event JSON object (dict).
+
+    Loadable by Perfetto (https://ui.perfetto.dev) and
+    ``chrome://tracing``. Each component becomes a named thread lane;
+    spans become complete (``"ph": "X"``) events, instants become
+    thread-scoped instant (``"ph": "i"``) events. The trace-event spec
+    counts ``ts``/``dur`` in microseconds; simulated nanoseconds are
+    divided by 1000 (fractions are allowed by the spec).
+    """
+    lanes: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for record in tracer.records:
+        tid = lanes.setdefault(record.component, len(lanes))
+        entry: Dict[str, Any] = {
+            "name": record.event,
+            "cat": record.component,
+            "pid": pid,
+            "tid": tid,
+            "ts": record.time / 1000.0,
+            "args": {k: _jsonable(v) for k, v in record.details.items()},
+        }
+        if record.dur is not None:
+            entry["ph"] = "X"
+            entry["dur"] = record.dur / 1000.0
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        events.append(entry)
+    metadata: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro-sim"},
+        }
+    ]
+    for component, tid in lanes.items():
+        metadata.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": component},
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> int:
+    """Write the Chrome trace-event JSON to ``path``; returns the number
+    of trace records exported (metadata events not counted)."""
+    trace = to_chrome_trace(tracer)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(tracer)

@@ -97,3 +97,73 @@ def test_figures_csv_export(tmp_path):
     assert csv_file.exists()
     header = csv_file.read_text().splitlines()[0]
     assert header.startswith("projectivity,")
+
+
+def test_trace_writes_chrome_json(tmp_path):
+    import json
+
+    path = tmp_path / "q.trace.json"
+    code, text = run_cli(
+        "trace", "SELECT SUM(A1) FROM S", "--rows", "64", "--out", str(path),
+        "--tail", "5",
+    )
+    assert code == 0
+    assert "elapsed:" in text and "MLP cold" in text
+    assert "perfetto" in text.lower()
+    trace = json.loads(path.read_text())
+    phases = {event["ph"] for event in trace["traceEvents"]}
+    assert "X" in phases and "M" in phases
+
+
+def test_trace_hot_and_component_filter(tmp_path):
+    path = tmp_path / "hot.trace.json"
+    code, text = run_cli(
+        "trace", "SELECT SUM(A1) FROM S", "--rows", "64", "--out", str(path),
+        "--hot", "--component", "trapper", "--tail", "8",
+    )
+    assert code == 0
+    assert "MLP hot" in text
+    # Only trapper records in the rendered tail (header line aside).
+    body = [line for line in text.splitlines()
+            if "ns  " in line and "elapsed" not in line]
+    assert body and all("trapper" in line for line in body)
+
+
+def test_trace_unknown_column():
+    code, text = run_cli("trace", "SELECT SUM(Z9) FROM S", "--rows", "32")
+    assert code == 2 and "Z9" in text
+
+
+def test_stats_table_output():
+    code, text = run_cli(
+        "stats", "SELECT SUM(A1) FROM S", "--rows", "64", "--prefix", "rme"
+    )
+    assert code == 0
+    assert "rme.trapper" in text and "stall_ns" in text
+    assert "dram " not in text  # prefix filter applied
+
+
+def test_stats_json_output():
+    import json
+
+    code, text = run_cli(
+        "stats", "SELECT SUM(A1) FROM S", "--rows", "64", "--format", "json"
+    )
+    assert code == 0
+    data = json.loads(text)
+    assert data["rme.trapper"]["requests"]["count"] > 0
+
+
+def test_stats_csv_output():
+    code, text = run_cli(
+        "stats", "SELECT SUM(A1) FROM S", "--rows", "64", "--format", "csv"
+    )
+    assert code == 0
+    assert text.splitlines()[0] == "component,metric,field,value"
+
+
+def test_stats_bsl_design():
+    code, text = run_cli(
+        "stats", "SELECT SUM(A1) FROM S", "--rows", "64", "--design", "bsl"
+    )
+    assert code == 0 and "BSL cold" in text

@@ -1,0 +1,141 @@
+"""Tests for the MetricsRegistry and the telemetry exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import RelationalMemorySystem, QueryExecutor, q4
+from repro.bench.report import metrics_to_csv, metrics_to_json, render_metrics
+from repro.errors import SimulationError
+from repro.sim import MetricsRegistry, StatSet
+from tests.conftest import build_relation
+
+
+def test_attach_and_snapshot():
+    registry = MetricsRegistry()
+    dram = StatSet("dram")
+    dram.bump("row_hits", 3)
+    registry.attach("dram", dram)
+    assert registry.paths() == ["dram"]
+    assert registry.statset("dram") is dram
+    assert registry.as_dict()["dram"]["row_hits"] == {"count": 1, "total": 3}
+    # By reference: later bumps show in later snapshots.
+    dram.bump("row_hits")
+    assert registry.as_dict()["dram"]["row_hits"]["count"] == 2
+
+
+def test_attach_validates_paths():
+    registry = MetricsRegistry()
+    registry.attach("a.b", StatSet("x"))
+    with pytest.raises(SimulationError):
+        registry.attach("a.b", StatSet("dup"))
+    for bad in ("", ".a", "a."):
+        with pytest.raises(SimulationError):
+            registry.attach(bad, StatSet("bad"))
+
+
+def test_provider_callable_resolves_live():
+    registry = MetricsRegistry()
+    holder = {"stats": None}
+    registry.attach("late", lambda: holder["stats"])
+    # Unresolved providers are skipped, not erroring.
+    assert registry.as_dict() == {}
+    assert registry.statset("late") is None
+    holder["stats"] = StatSet("late")
+    holder["stats"].bump("ticks")
+    assert registry.as_dict()["late"]["ticks"]["count"] == 1
+
+
+def test_scope_creates_and_reuses():
+    registry = MetricsRegistry()
+    scope = registry.scope("bench")
+    scope.bump("runs")
+    assert registry.scope("bench") is scope
+    registry.attach("prov", lambda: None)
+    with pytest.raises(SimulationError):
+        registry.scope("prov")  # a provider path cannot become a scope
+
+
+def test_tree_and_flat_views():
+    registry = MetricsRegistry()
+    registry.scope("rme.trapper").bump("requests", 2)
+    registry.scope("dram").observe("lat", 8.0)
+    tree = registry.tree()
+    assert tree["rme"]["trapper"]["requests"]["total"] == 2
+    flat = registry.flat()
+    assert flat["rme.trapper.requests.count"] == 1
+    assert flat["dram.lat.p50"] == 8.0
+
+
+def test_registry_reset():
+    registry = MetricsRegistry()
+    registry.scope("a").bump("x", 5)
+    registry.reset()
+    assert registry.as_dict()["a"]["x"] == {"count": 0, "total": 0.0}
+
+
+# -- the system-wide registry -----------------------------------------------------
+
+def _run_query_system():
+    system = RelationalMemorySystem()
+    loaded = system.load_table(build_relation(n_rows=128))
+    var = system.register_var(loaded, ["A1"])
+    QueryExecutor(system).run_rme(q4(), var)
+    return system
+
+
+def test_system_registry_covers_all_components():
+    system = RelationalMemorySystem()
+    assert system.metrics.paths() == [
+        "cpu0", "cpu0.l1", "cpu0.prefetcher", "dram", "l2",
+        "rme", "rme.buffer", "rme.fetch", "rme.monitor",
+        "rme.requestor", "rme.trapper",
+    ]
+    # The requestor exists only after a configuration: provider is skipped.
+    assert "rme.requestor" not in system.metrics.as_dict()
+
+
+def test_system_registry_multicore_paths():
+    system = RelationalMemorySystem(n_cores=2)
+    paths = system.metrics.paths()
+    assert "cpu1.l1" in paths and "cpu1.prefetcher" in paths
+
+
+def test_system_registry_live_after_query():
+    system = _run_query_system()
+    snapshot = system.metrics.as_dict()
+    assert snapshot["dram"]["requests_rme"]["count"] > 0
+    assert snapshot["rme.trapper"]["requests"]["count"] > 0
+    assert snapshot["rme.requestor"]["descriptors"]["count"] == 128
+    assert snapshot["rme.fetch"]["service_ns"]["p99"] > 0
+    assert snapshot["rme"]["projected_bytes"]["value"] == 128 * 4
+
+
+# -- exporters --------------------------------------------------------------------
+
+def test_metrics_to_csv_parses_and_covers_fields():
+    system = _run_query_system()
+    text = metrics_to_csv(system.metrics)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert rows, "CSV export must contain data rows"
+    assert set(rows[0]) == {"component", "metric", "field", "value"}
+    dram_fields = {(r["metric"], r["field"]) for r in rows
+                   if r["component"] == "dram"}
+    assert ("service_latency_ns", "p99") in dram_fields
+    for row in rows:
+        float(row["value"])  # every value is numeric
+
+
+def test_metrics_to_json_round_trips():
+    system = _run_query_system()
+    data = json.loads(metrics_to_json(system.metrics))
+    assert data["rme.trapper"]["requests"]["count"] > 0
+
+
+def test_render_metrics_prefix_filter():
+    system = _run_query_system()
+    text = render_metrics(system.metrics, prefix="rme")
+    assert "rme.trapper" in text and "dram" not in text.split()
+    assert render_metrics(system.metrics, prefix="nope") == "(no metrics recorded)"

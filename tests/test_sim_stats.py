@@ -1,6 +1,10 @@
-"""Tests for the statistics counters."""
+"""Tests for the statistics instruments: counters, gauges, histograms."""
 
-from repro.sim import Counter, StatSet
+import random
+
+import pytest
+
+from repro.sim import Counter, Gauge, Histogram, StatSet
 
 
 def test_counter_counts_and_totals():
@@ -55,3 +59,121 @@ def test_statset_iteration_sorted():
     for name in ("c", "a", "b"):
         stats.bump(name)
     assert [name for name, _ in stats] == ["a", "b", "c"]
+
+
+# -- gauges ---------------------------------------------------------------------
+
+def test_gauge_tracks_level_and_extremes():
+    gauge = Gauge("occupancy")
+    assert gauge.as_dict() == {"value": 0.0, "min": 0.0, "max": 0.0}
+    for level in (4, 9, 2):
+        gauge.set(level)
+    assert gauge.value == 2 and gauge.min == 2 and gauge.max == 9
+    assert gauge.updates == 3
+    gauge.reset()
+    assert gauge.value == 0.0 and gauge.min is None and gauge.updates == 0
+
+
+# -- histograms ------------------------------------------------------------------
+
+def test_histogram_empty_percentile_is_zero():
+    assert Histogram("lat").percentile(50) == 0.0
+
+
+def test_histogram_percentile_bounds():
+    histogram = Histogram("lat")
+    with pytest.raises(ValueError):
+        histogram.percentile(-1)
+    with pytest.raises(ValueError):
+        histogram.percentile(101)
+    with pytest.raises(ValueError):
+        Histogram("x", subbuckets=0)
+
+
+def test_histogram_single_value_exact():
+    histogram = Histogram("lat")
+    histogram.observe(42.0)
+    for p in (0, 50, 99, 100):
+        assert histogram.percentile(p) == 42.0
+    assert histogram.mean == 42.0
+
+
+def test_histogram_percentiles_within_relative_error():
+    rng = random.Random(99)
+    histogram = Histogram("lat")
+    values = [rng.uniform(1.0, 100_000.0) for _ in range(5000)]
+    for value in values:
+        histogram.observe(value)
+    values.sort()
+    for p in (10, 50, 90, 99):
+        exact = values[max(0, int(len(values) * p / 100.0) - 1)]
+        estimate = histogram.percentile(p)
+        # Log-linear buckets with 16 sub-buckets: <= 1/16 relative error,
+        # plus one-rank slack for the ceil-based rank rounding.
+        assert estimate == pytest.approx(exact, rel=0.08)
+    assert histogram.percentile(100) == max(values)
+    assert histogram.percentile(0) == pytest.approx(min(values), rel=0.08)
+
+
+def test_histogram_clamps_to_observed_range():
+    histogram = Histogram("lat")
+    for value in (10.0, 10.5, 11.0):
+        histogram.observe(value)
+    assert 10.0 <= histogram.percentile(1) <= 11.0
+    assert histogram.percentile(100) == 11.0
+
+
+def test_histogram_underflow_bucket():
+    histogram = Histogram("lat")
+    histogram.observe(0.0)
+    histogram.observe(-5.0)
+    histogram.observe(8.0)
+    assert histogram.count == 3
+    assert histogram.percentile(10) == 0.0  # non-positive values report as 0
+    assert histogram.percentile(100) == 8.0
+    assert histogram.min == -5.0  # the exact extreme is still tracked
+
+
+def test_histogram_reset():
+    histogram = Histogram("lat")
+    histogram.observe(3.0)
+    histogram.reset()
+    assert histogram.count == 0 and histogram.percentile(50) == 0.0
+    assert histogram.min is None and histogram.max is None
+
+
+# -- StatSet round trips ----------------------------------------------------------
+
+def test_statset_mixed_instruments_as_dict():
+    stats = StatSet("x")
+    stats.bump("requests", 2)
+    stats.set_gauge("occupancy", 7)
+    stats.observe("latency_ns", 10.0)
+    stats.observe("latency_ns", 30.0)
+    snapshot = stats.as_dict()
+    assert list(snapshot) == ["latency_ns", "occupancy", "requests"]
+    assert snapshot["requests"] == {"count": 1, "total": 2}
+    assert snapshot["occupancy"]["value"] == 7
+    latency = snapshot["latency_ns"]
+    assert latency["count"] == 2 and latency["total"] == 40.0
+    assert latency["min"] == 10.0 and latency["max"] == 30.0
+    assert set(latency) == {"count", "total", "mean", "min", "max",
+                            "p50", "p90", "p99"}
+
+
+def test_statset_reset_round_trip_all_instruments():
+    stats = StatSet("x")
+    stats.bump("a", 4)
+    stats.set_gauge("g", 3)
+    stats.observe("h", 12.0)
+    before = stats.as_dict()
+    stats.reset()
+    zeroed = stats.as_dict()
+    assert set(zeroed) == set(before)  # instruments survive, values zero
+    assert zeroed["a"] == {"count": 0, "total": 0.0}
+    assert zeroed["g"]["value"] == 0.0
+    assert zeroed["h"]["count"] == 0
+    # And the instruments keep working after the reset.
+    stats.observe("h", 5.0)
+    assert stats.percentile("h", 50) == 5.0
+    assert stats.percentile("never_observed", 50) == 0.0
