@@ -84,6 +84,16 @@ from .rme import (
     design_by_name,
     estimate_resources,
 )
+from .serve import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    ServingReport,
+    ServingSystem,
+    TenantSpec,
+    WorkloadProfile,
+    default_tenants,
+    profile_workload,
+)
 from .storage import (
     BPlusTreeIndex,
     Column,
@@ -163,6 +173,15 @@ __all__ = [
     "q6",
     "q7",
     "parse_query",
+    # serving
+    "ClosedLoopWorkload",
+    "OpenLoopWorkload",
+    "ServingReport",
+    "ServingSystem",
+    "TenantSpec",
+    "WorkloadProfile",
+    "default_tenants",
+    "profile_workload",
     # model
     "AnalyticalModel",
     "EnergyBreakdown",

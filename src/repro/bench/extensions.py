@@ -234,3 +234,59 @@ def ext_noncontiguous_tradeoff(
         notes="exact groups move fewer bytes hot; gaps cost one extra "
         "descriptor per row cold",
     )
+
+
+def ext_serving_sweep(
+    n_rows: int = 512,
+    n_requests: int = 300,
+    n_tenants: int = 3,
+    queue_depth: int = 48,
+    seed: int = 7,
+    platform: PlatformConfig = ZCU102,
+) -> FigureResult:
+    """Tail latency vs. offered load under each configuration-port policy.
+
+    A Poisson stream over ``n_tenants`` tenants is replayed at fractions
+    of the single-port saturation rate (mean cold service time inverted);
+    each policy serves the *same* arrival schedule, so the series differ
+    only in how the port is scheduled. Past saturation, single-port FCFS
+    thrashes the descriptor (every request pays reconfiguration), while
+    context switching batches same-descriptor work and a second port
+    absorbs the contention outright.
+    """
+    from ..serve import OpenLoopWorkload, ServingSystem, default_tenants, profile_workload
+
+    tenants = default_tenants(n_tenants=n_tenants, n_rows=n_rows, seed=seed)
+    profile = profile_workload(tenants, platform=platform)
+    saturation = profile.saturation_rate_qps()
+    load_factors = (0.3, 0.7, 1.0, 1.3)
+    policies = ("fcfs", "ctx-switch", "multi-port")
+    p99: Dict[str, List[float]] = {p: [] for p in policies}
+    shed: Dict[str, List[float]] = {p: [] for p in policies}
+    for factor in load_factors:
+        workload = OpenLoopWorkload(
+            tenants, rate_qps=factor * saturation, n_requests=n_requests,
+            seed=seed,
+        )
+        for policy in policies:
+            report = ServingSystem(
+                profile, policy=policy, queue_depth=queue_depth,
+                platform=platform,
+            ).run(workload)
+            p99[policy].append(report.p99_ns)
+            shed[policy].append(round(100 * report.shed_rate, 1))
+    series: Dict[str, List[float]] = {
+        f"{policy} p99 ns": p99[policy] for policy in policies
+    }
+    series.update({f"{policy} shed %": shed[policy] for policy in policies})
+    return FigureResult(
+        fig_id="Ext: serving sweep",
+        title="p99 latency and shed rate vs. offered load "
+              f"(saturation = {saturation:,.0f} qps)",
+        x_label="load (x saturation)",
+        xs=list(load_factors),
+        series=series,
+        y_label="p99 latency (ns) / shed (%)",
+        notes="same Poisson schedule per point; policies differ only in "
+        "configuration-port scheduling",
+    )

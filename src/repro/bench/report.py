@@ -64,6 +64,49 @@ def to_csv(result: FigureResult) -> str:
     return "\n".join(lines)
 
 
+# -- serving SLO reports ----------------------------------------------------------
+
+def render_slo_report(report) -> str:
+    """A :class:`~repro.serve.ServingReport` as per-tenant SLO tables.
+
+    One row per tenant — served/shed counts, throughput and the
+    p50/p95/p99 latency ladder — followed by a system summary line with
+    the time breakdown (queueing vs. reconfiguration vs. execution).
+    """
+    rows = [
+        [
+            slo.tenant, slo.arrivals, slo.served, slo.shed,
+            f"{slo.shed_rate:.1%}", round(slo.throughput_qps),
+            round(slo.p50_ns), round(slo.p95_ns), round(slo.p99_ns),
+        ]
+        for slo in report.tenants
+    ]
+    table = render_table(
+        ["tenant", "arrivals", "served", "shed", "shed rate", "qps",
+         "p50 ns", "p95 ns", "p99 ns"],
+        rows,
+    )
+    head = (
+        f"policy={report.policy} arrival={report.arrival} "
+        f"ports={report.n_ports} queue_depth={report.queue_depth}"
+    )
+    summary = (
+        f"served {report.served}/{report.arrivals} "
+        f"({report.shed} shed, {report.shed_rate:.1%}) in "
+        f"{report.duration_ns / 1e6:.2f} simulated ms "
+        f"({report.throughput_qps:,.0f} qps)\n"
+        f"overall latency p50/p95/p99: {report.p50_ns:,.0f} / "
+        f"{report.p95_ns:,.0f} / {report.p99_ns:,.0f} ns\n"
+        f"port time: {report.reconfig_ns_total / 1e3:,.1f} us reconfig + "
+        f"{report.exec_ns_total / 1e3:,.1f} us execution "
+        f"(hot rate {report.hot_rate:.1%}, "
+        f"{report.context_switches} context switches); "
+        f"queueing {report.queue_ns_total / 1e3:,.1f} us, "
+        f"max backlog {report.max_backlog}"
+    )
+    return f"{head}\n{table}\n{summary}"
+
+
 # -- telemetry snapshots ----------------------------------------------------------
 
 def metrics_to_csv(registry) -> str:

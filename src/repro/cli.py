@@ -1,21 +1,29 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the common workflows without writing Python:
+Seven subcommands cover the common workflows without writing Python:
 
 * ``figures`` — regenerate the paper's figures/tables (all or a subset);
 * ``query`` — run an ad-hoc SQL query over a generated benchmark relation
   on every access path and compare;
+* ``serve`` — run a concurrent multi-tenant query workload through the
+  RME scheduler and report per-tenant SLOs (p50/p95/p99, throughput,
+  shed rate);
 * ``trace`` — run a query with tracing on and export the causal timeline
   as Chrome trace-event JSON (Perfetto / ``chrome://tracing`` loadable);
 * ``stats`` — run a query and dump the telemetry registry (table, JSON
   or CSV): counters, gauges and latency percentiles per component;
 * ``resources`` — print the Table-3 style FPGA estimate for a design;
 * ``info`` — dump the simulated platform configuration.
+
+Usage errors (unknown subcommands, malformed flag values) print a
+one-line message and exit with status 2 — they never raise out of
+:func:`main`.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -27,17 +35,35 @@ from .bench.report import (
     metrics_to_json,
     render_figure,
     render_metrics,
+    render_slo_report,
     render_table,
 )
 from .bench.workloads import make_relation
 from .config import ZCU102
 from .core.relmem import RelationalMemorySystem
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .query.executor import QueryExecutor
 from .query.sql import parse_query
 from .rme.designs import ALL_DESIGNS, design_by_name
 from .rme.resources import estimate_resources
 from .sim.trace import write_chrome_trace
+
+
+class _UsageError(Exception):
+    """An argparse-level mistake, reported as one line + exit code 2."""
+
+
+class _Parser(argparse.ArgumentParser):
+    """An ArgumentParser that raises instead of calling ``sys.exit``.
+
+    ``add_subparsers`` instantiates the same class for subcommands, so
+    unknown subcommands and malformed option values everywhere surface
+    as :class:`_UsageError` and become a one-line message from
+    :func:`main` — no tracebacks, no ``SystemExit`` from library code.
+    """
+
+    def error(self, message: str):
+        raise _UsageError(f"{self.prog}: {message}")
 
 #: figure name -> (driver kwargs builder, normalizer)
 _FIGURES: Dict[str, Callable] = {
@@ -57,11 +83,13 @@ _FIGURES: Dict[str, Callable] = {
     "ext-hybrid": lambda rows: extension_drivers.ext_hybrid_crossover(n_rows=rows),
     "ext-isolation": lambda rows: extension_drivers.ext_isolation(n_rows=rows),
     "ext-multirun": lambda rows: extension_drivers.ext_noncontiguous_tradeoff(n_rows=rows),
+    "ext-serving": lambda rows: extension_drivers.ext_serving_sweep(
+        n_rows=max(128, rows // 2)),
 }
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Relational Memory (EDBT 2023) reproduction toolkit",
     )
@@ -123,6 +151,48 @@ def _build_parser() -> argparse.ArgumentParser:
                        help='only components at/under this path (e.g. "rme")')
     stats.add_argument("--format", choices=("table", "json", "csv"),
                        default="table", help="output format (default table)")
+
+    serve = commands.add_parser(
+        "serve", help="serve a concurrent multi-tenant query workload")
+    serve.add_argument("--policy", choices=("fcfs", "ctx-switch", "multi-port"),
+                       default="fcfs",
+                       help="configuration-port scheduler (default fcfs)")
+    serve.add_argument("--arrival", choices=("poisson", "bursty", "closed"),
+                       default="poisson",
+                       help="arrival process (default poisson); 'closed' runs "
+                            "think-time clients instead of an open stream")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="open-loop arrival rate in queries per simulated "
+                            "second (default: 0.8x the single-port "
+                            "saturation rate)")
+    serve.add_argument("--requests", type=int, default=400,
+                       help="total requests to serve (default 400)")
+    serve.add_argument("--tenants", type=int, default=3,
+                       help="tenant count, one table each (default 3)")
+    serve.add_argument("--rows", type=int, default=1024,
+                       help="rows per tenant table (default 1024)")
+    serve.add_argument("--ports", type=int, default=None,
+                       help="engine contexts; only multi-port supports >1 "
+                            "(default: 2 for multi-port, else 1)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission-control backlog bound (default 64)")
+    serve.add_argument("--quantum", type=int, default=8,
+                       help="ctx-switch drain quantum (default 8)")
+    serve.add_argument("--clients", type=int, default=16,
+                       help="closed-loop client population (default 16)")
+    serve.add_argument("--think-us", type=float, default=30.0,
+                       help="closed-loop mean think time in us (default 30)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--design", default="MLP",
+                       help="BSL, PCK or MLP (default MLP)")
+    serve.add_argument("--format", choices=("table", "json", "csv"),
+                       default="table",
+                       help="SLO table, or the raw metrics registry as "
+                            "JSON/CSV (default table)")
+    serve.add_argument("--config", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="override a platform parameter, e.g. "
+                            "--config pl_freq_mhz=300 (repeatable)")
 
     resources = commands.add_parser("resources", help="Table-3 style estimate")
     resources.add_argument("--design", default="MLP",
@@ -278,6 +348,79 @@ def _short(value) -> str:
     return text if len(text) <= 200 else text[:200] + "..."
 
 
+def _platform_from_overrides(pairs: List[str]):
+    """``KEY=VALUE`` strings -> a ZCU102 variant; bad input raises."""
+    overrides = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(
+                f"malformed --config {pair!r}: expected KEY=VALUE"
+            )
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"--config {key}: {raw!r} is not a number"
+                )
+        overrides[key] = value
+    if not overrides:
+        return ZCU102
+    try:
+        return ZCU102.with_overrides(**overrides)
+    except TypeError:
+        known = ", ".join(f.name for f in dataclasses.fields(ZCU102))
+        raise ConfigurationError(
+            f"unknown platform parameter in --config "
+            f"({', '.join(overrides)}); known: {known}"
+        )
+
+
+def _cmd_serve(args, out) -> int:
+    from .serve import (
+        ClosedLoopWorkload,
+        OpenLoopWorkload,
+        ServingSystem,
+        default_tenants,
+        profile_workload,
+    )
+
+    platform = _platform_from_overrides(args.config)
+    design = design_by_name(args.design)
+    tenants = default_tenants(
+        n_tenants=args.tenants, n_rows=args.rows, seed=args.seed
+    )
+    profile = profile_workload(tenants, platform=platform, design=design)
+    if args.arrival == "closed":
+        workload = ClosedLoopWorkload(
+            tenants, n_clients=args.clients, n_requests=args.requests,
+            think_ns=args.think_us * 1000.0, seed=args.seed,
+        )
+    else:
+        rate = args.rate or 0.8 * profile.saturation_rate_qps()
+        workload = OpenLoopWorkload(
+            tenants, rate_qps=rate, n_requests=args.requests,
+            arrival=args.arrival, seed=args.seed,
+        )
+    system = ServingSystem(
+        profile, policy=args.policy, n_ports=args.ports,
+        queue_depth=args.queue_depth, quantum=args.quantum,
+        platform=platform, design=design,
+    )
+    report = system.run(workload)
+    if args.format == "json":
+        print(metrics_to_json(report.metrics), file=out)
+    elif args.format == "csv":
+        print(metrics_to_csv(report.metrics), file=out)
+    else:
+        print(render_slo_report(report), file=out)
+    return 0
+
+
 def _cmd_resources(args, out) -> int:
     design = design_by_name(args.design)
     report = estimate_resources(design)
@@ -308,13 +451,18 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """The console entry point; returns a process exit code."""
     out = out or sys.stdout
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except _UsageError as exc:
+        print(f"error: {exc} (see 'repro --help')", file=out)
+        return 2
     if args.command is None:
         parser.print_help(file=out)
         return 2
     handler = {
         "figures": _cmd_figures,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "resources": _cmd_resources,

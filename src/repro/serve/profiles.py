@@ -1,0 +1,194 @@
+"""Service-cost profiling: what each (tenant, template) pair costs the RME.
+
+The serving layer is a discrete-event queueing simulation on top of the
+cycle-level platform model. Rather than re-running the full memory-system
+simulation for every one of thousands of requests, each (tenant,
+template) pair is *profiled once* through the real
+:class:`~repro.query.executor.QueryExecutor`:
+
+* ``cold_ns`` — the demand-driven projection + scan with the engine
+  freshly pointed at this descriptor (the executor's cold RME run);
+* ``hot_ns`` — the same scan against the already-filled reorganization
+  buffer (the executor's hot run);
+* ``program_ns`` — the cost of programming the configuration port: one
+  PS→PL register write per Table-1 (or multi-run) register, each paying
+  the round-trip clock-domain crossing plus the PL-side transaction
+  overhead.
+
+The profiled answer is recorded too, so every served request carries the
+byte-identical value the single-query executor produces — the serving
+layer never invents results, it only re-prices *when* they are produced
+under contention.
+
+All profiling happens on one shared :class:`RelationalMemorySystem` with
+every tenant's table loaded, exactly like the serving scenario: one
+engine, many descriptors, and an eviction activation between
+measurements so "cold" really means "the port held someone else's
+descriptor".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..config import PlatformConfig, ZCU102
+from ..core.relmem import RelationalMemorySystem
+from ..errors import ConfigurationError
+from ..query.executor import QueryExecutor
+from ..rme.designs import MLP, DesignParams
+from .workload import TenantSpec
+
+#: A descriptor identity: which geometry the configuration port holds.
+DescriptorKey = Tuple[str, Tuple[Tuple[int, int], ...]]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Measured costs and the golden answer for one (tenant, template)."""
+
+    tenant: str
+    template: str
+    sql: str
+    descriptor: DescriptorKey
+    columns: Tuple[str, ...]
+    n_rows: int
+    program_ns: float  #: configuration-port register programming
+    cold_ns: float  #: demand fill + scan, engine freshly switched here
+    hot_ns: float  #: scan against the warm reorganization buffer
+    value: Any  #: the executor's answer (cold and hot agree by assertion)
+
+    @property
+    def fill_ns(self) -> float:
+        """The projection-regeneration surcharge a descriptor switch pays."""
+        return max(0.0, self.cold_ns - self.hot_ns)
+
+    @property
+    def cold_service_ns(self) -> float:
+        """Total service time when the port must be re-programmed."""
+        return self.program_ns + self.cold_ns
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Every tenant's profiled templates, ready for the serving loop."""
+
+    platform: PlatformConfig
+    design_name: str
+    tenants: Tuple[TenantSpec, ...]
+    profiles: Dict[Tuple[str, str], QueryProfile]
+
+    def profile(self, tenant: str, template: str) -> QueryProfile:
+        key = (tenant, template)
+        if key not in self.profiles:
+            raise ConfigurationError(
+                f"no profile for tenant {tenant!r} template {template!r}"
+            )
+        return self.profiles[key]
+
+    @property
+    def tenant_names(self) -> List[str]:
+        return [t.name for t in self.tenants]
+
+    @property
+    def mean_cold_service_ns(self) -> float:
+        values = [p.cold_service_ns for p in self.profiles.values()]
+        return sum(values) / len(values)
+
+    @property
+    def mean_hot_service_ns(self) -> float:
+        values = [p.hot_ns for p in self.profiles.values()]
+        return sum(values) / len(values)
+
+    def saturation_rate_qps(self) -> float:
+        """The arrival rate that saturates one always-cold port.
+
+        A single FCFS port that switches descriptors on (almost) every
+        request serves ``1e9 / mean_cold_service_ns`` requests per
+        simulated second; open-loop rates above this are past saturation.
+        """
+        return 1e9 / self.mean_cold_service_ns
+
+
+def port_program_ns(platform: PlatformConfig, config) -> float:
+    """Time to program the configuration port for ``config``.
+
+    Each register write crosses into the PL clock domain and back (the
+    CPU waits for the AXI-Lite write response) and occupies the PL-side
+    logic for the usual per-transaction overhead.
+    """
+    per_write = 2 * platform.cdc_ns + platform.pl_cycles(
+        platform.pl_txn_overhead_cycles
+    )
+    return len(config.register_writes()) * per_write
+
+
+def profile_workload(
+    tenants: Sequence[TenantSpec],
+    platform: PlatformConfig = ZCU102,
+    design: DesignParams = MLP,
+    buffer_capacity: int = None,
+) -> WorkloadProfile:
+    """Measure every (tenant, template) pair on one shared platform."""
+    if not tenants:
+        raise ConfigurationError("profiling needs at least one tenant")
+    kwargs = {}
+    if buffer_capacity is not None:
+        kwargs["buffer_capacity"] = buffer_capacity
+    system = RelationalMemorySystem(platform, design, **kwargs)
+    executor = QueryExecutor(system)
+    loaded = {t.name: system.load_table(t.table) for t in tenants}
+
+    # A dedicated eviction descriptor: activating it between measurements
+    # guarantees the next access to any template is genuinely cold.
+    first = loaded[tenants[0].name]
+    evictor = system.register_var(
+        first, [first.schema.names[0]], activate=False
+    )
+
+    profiles: Dict[Tuple[str, str], QueryProfile] = {}
+    for spec in tenants:
+        table = loaded[spec.name]
+        for template, query in spec.templates:
+            columns = [c for c in query.columns()]
+            missing = [c for c in columns if c not in table.schema]
+            if missing:
+                raise ConfigurationError(
+                    f"tenant {spec.name!r} template {template!r} references "
+                    f"columns {missing} outside its schema"
+                )
+            var = system.register_var(
+                table, columns, activate=False, allow_noncontiguous=True
+            )
+            runs = tuple(table.schema.column_runs(columns))
+            system.activate(evictor)  # someone else's descriptor is loaded
+            cold = executor.run_rme(query, var)
+            hot = executor.run_rme(query, var)
+            if cold.value != hot.value:
+                raise ConfigurationError(
+                    f"cold/hot answers diverged for {spec.name}/{template}"
+                )
+            direct = executor.run_direct(query, table)
+            if direct.value != cold.value:
+                raise ConfigurationError(
+                    f"RME answer diverged from direct scan for "
+                    f"{spec.name}/{template}"
+                )
+            profiles[(spec.name, template)] = QueryProfile(
+                tenant=spec.name,
+                template=template,
+                sql=query.sql,
+                descriptor=(spec.name, runs),
+                columns=tuple(columns),
+                n_rows=table.table.n_rows,
+                program_ns=port_program_ns(platform, var.config),
+                cold_ns=cold.elapsed_ns,
+                hot_ns=hot.elapsed_ns,
+                value=cold.value,
+            )
+    return WorkloadProfile(
+        platform=platform,
+        design_name=design.name,
+        tenants=tuple(tenants),
+        profiles=profiles,
+    )

@@ -25,6 +25,30 @@ def test_version_flag():
     assert excinfo.value.code == 0
 
 
+def test_unknown_subcommand_one_line_error():
+    code, text = run_cli("frobnicate")
+    assert code == 2
+    lines = [line for line in text.splitlines() if line]
+    assert len(lines) == 1
+    assert lines[0].startswith("error:")
+    assert "invalid choice" in lines[0]
+    assert "Traceback" not in text
+
+
+def test_malformed_option_value_one_line_error():
+    code, text = run_cli("query", "SELECT SUM(A1) FROM S", "--rows", "many")
+    assert code == 2
+    lines = [line for line in text.splitlines() if line]
+    assert len(lines) == 1
+    assert lines[0].startswith("error:") and "invalid int value" in lines[0]
+
+
+def test_unknown_flag_one_line_error():
+    code, text = run_cli("info", "--frobnicate")
+    assert code == 2
+    assert text.startswith("error:")
+
+
 def test_info():
     code, text = run_cli("info")
     assert code == 0
@@ -97,6 +121,84 @@ def test_figures_csv_export(tmp_path):
     assert csv_file.exists()
     header = csv_file.read_text().splitlines()[0]
     assert header.startswith("projectivity,")
+
+
+def serve_cli(*extra):
+    return run_cli("serve", "--rows", "128", "--requests", "60", *extra)
+
+
+def test_serve_reports_slos():
+    code, text = serve_cli("--policy", "ctx-switch", "--arrival", "poisson")
+    assert code == 0
+    assert "policy=ctx-switch arrival=poisson" in text
+    assert "p99 ns" in text and "shed rate" in text
+    assert "tenant0" in text and "tenant2" in text
+    assert "context switches" in text
+
+
+def test_serve_multi_port_and_rate():
+    code, text = serve_cli(
+        "--policy", "multi-port", "--rate", "200000", "--ports", "2"
+    )
+    assert code == 0
+    assert "ports=2" in text
+
+
+def test_serve_closed_loop():
+    code, text = serve_cli("--arrival", "closed", "--clients", "4")
+    assert code == 0
+    assert "arrival=closed" in text
+    assert "served 60/60" in text
+
+
+def test_serve_json_metrics():
+    import json
+
+    code, text = serve_cli("--format", "json")
+    assert code == 0
+    data = json.loads(text)
+    assert data["slo"]["latency_ns"]["count"] > 0
+    assert any(key.startswith("tenant.") for key in data)
+
+
+def test_serve_config_override_changes_timing():
+    code, slow = serve_cli("--config", "pl_freq_mhz=100")
+    assert code == 0
+    code, fast = serve_cli("--config", "pl_freq_mhz=300")
+    assert code == 0
+    assert slow != fast
+
+
+def test_serve_config_missing_equals():
+    code, text = serve_cli("--config", "pl_freq_mhz")
+    assert code == 1
+    lines = [line for line in text.splitlines() if line]
+    assert len(lines) == 1 and lines[0].startswith("error:")
+    assert "KEY=VALUE" in lines[0]
+
+
+def test_serve_config_non_numeric_value():
+    code, text = serve_cli("--config", "pl_freq_mhz=fast")
+    assert code == 1
+    assert text.startswith("error:") and "not a number" in text
+
+
+def test_serve_config_unknown_key():
+    code, text = serve_cli("--config", "warp_drive=9")
+    assert code == 1
+    assert text.startswith("error:") and "warp_drive" in text
+
+
+def test_serve_bad_policy_choice():
+    code, text = serve_cli("--policy", "lifo")
+    assert code == 2
+    assert text.startswith("error:") and "invalid choice" in text
+
+
+def test_serve_ports_rejected_for_single_port_policy():
+    code, text = serve_cli("--policy", "fcfs", "--ports", "3")
+    assert code == 1
+    assert text.startswith("error:")
 
 
 def test_trace_writes_chrome_json(tmp_path):

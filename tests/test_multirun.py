@@ -70,6 +70,50 @@ def test_descriptors_per_row_and_run():
     assert second_row[0].w_addr == 24  # dense packing continues
 
 
+@pytest.mark.parametrize("runs", [
+    ((0, 0),),                # zero-width run
+    ((8, 0), (16, 8)),        # zero width hiding among valid runs
+    ((0, 8), (4, 8)),         # overlapping runs
+    ((0, 16), (8, 8)),        # second run starts inside the first
+    ((96, 4),),               # starts past the row end
+    ((80, 32),),              # extends past the row end
+])
+def test_geometry_construction_rejects_bad_runs(runs):
+    """Building a geometry over an invalid run list must raise — the
+    descriptor generator never sees a zero-width, overlapping or
+    out-of-row run."""
+    config = MultiRMEConfig(row_size=96, row_count=8, runs=runs)
+    with pytest.raises((GeometryError, ConfigurationError)):
+        MultiRunTableGeometry(config, base_addr=0)
+
+
+def test_geometry_rejects_nonpositive_row_shape():
+    with pytest.raises((GeometryError, ConfigurationError)):
+        MultiRunTableGeometry(
+            MultiRMEConfig(row_size=0, row_count=4, runs=((0, 4),)),
+            base_addr=0,
+        )
+    with pytest.raises((GeometryError, ConfigurationError)):
+        MultiRunTableGeometry(
+            MultiRMEConfig(row_size=96, row_count=0, runs=((0, 4),)),
+            base_addr=0,
+        )
+
+
+@pytest.mark.parametrize("base_addr,bus_bytes", [
+    (-16, 16),   # negative base
+    (0, 0),      # zero bus
+    (0, 24),     # non-power-of-two bus
+    (8, 16),     # misaligned base
+])
+def test_geometry_rejects_bad_placement(base_addr, bus_bytes):
+    with pytest.raises(GeometryError):
+        MultiRunTableGeometry(
+            listing2_config(n_rows=4), base_addr=base_addr,
+            bus_bytes=bus_bytes,
+        )
+
+
 def test_geometry_bounds_checked():
     geometry = MultiRunTableGeometry(listing2_config(n_rows=2), base_addr=0)
     with pytest.raises(GeometryError):
