@@ -1,0 +1,92 @@
+"""Extension — serving availability under injected hardware faults.
+
+The fault-injection subsystem (``repro.faults``) strikes requests with a
+seeded per-attempt fault probability; the recovery stack answers with
+retries, per-tenant circuit breakers and a CPU row-scan fallback. This
+benchmark sweeps fault rate x recovery policy over the same Poisson
+arrival schedule and asserts the acceptance claims: recovery yields
+strictly higher availability than no-recovery at every nonzero fault
+rate, and every successfully served answer is byte-identical to the
+fault-free profile value.
+"""
+
+from conftest import N_ROWS, run_once
+
+from repro.bench.report import render_table
+from repro.faults import DEFAULT_RECOVERY, NO_RECOVERY
+from repro.serve import (
+    OpenLoopWorkload,
+    ServingSystem,
+    default_tenants,
+    profile_workload,
+)
+
+FAULT_RATES = (0.0, 0.05, 0.15, 0.3)
+POLICIES = (("recovery", DEFAULT_RECOVERY), ("no-recovery", NO_RECOVERY))
+
+
+def sweep_faults(n_rows):
+    tenants = default_tenants(n_tenants=2, n_rows=n_rows)
+    profile = profile_workload(tenants)
+    rate = 0.5 * profile.saturation_rate_qps()
+    reports = {}
+    for fault_rate in FAULT_RATES:
+        workload = OpenLoopWorkload(
+            tenants, rate_qps=rate, n_requests=250, seed=7
+        )
+        for label, recovery in POLICIES:
+            system = ServingSystem(
+                profile, fault_rate=fault_rate, recovery=recovery
+            )
+            reports[(fault_rate, label)] = system.run(workload)
+    return profile, reports
+
+
+def bench_ext_faults(benchmark):
+    profile, reports = run_once(
+        benchmark, sweep_faults, n_rows=max(256, N_ROWS // 4)
+    )
+    print()
+    rows = [
+        [
+            fault_rate, label, f"{report.availability:.2%}",
+            round(report.p99_ns), f"{report.fallback_ratio:.0%}",
+            report.failed, report.retries_total, report.breaker_opens,
+        ]
+        for (fault_rate, label), report in sorted(reports.items())
+    ]
+    print(render_table(
+        ["fault rate", "policy", "avail", "p99 ns", "fallback",
+         "failed", "retries", "brk opens"],
+        rows,
+    ))
+
+    clean = reports[(0.0, "recovery")]
+    assert clean.availability == 1.0 and clean.fault_events == 0
+
+    for fault_rate in FAULT_RATES:
+        recovered = reports[(fault_rate, "recovery")]
+        bare = reports[(fault_rate, "no-recovery")]
+        # Both policies replay the identical arrival schedule.
+        assert recovered.arrivals == bare.arrivals
+        # Acceptance claim (a): wherever faults actually struck, the
+        # circuit-breaker + retry + fallback stack yields strictly
+        # higher availability than serving with recovery disabled.
+        if fault_rate > 0.0:
+            assert recovered.fault_events > 0 and bare.fault_events > 0
+            assert recovered.availability > bare.availability
+        # Acceptance claim (b): every successfully served answer under
+        # faults is byte-identical to the fault-free profiled value —
+        # recovery and degraded fallback never invent results.
+        for report in (recovered, bare):
+            for record in report.records:
+                if record.shed or record.failed:
+                    continue
+                golden = profile.profile(record.tenant, record.template).value
+                assert record.value == golden
+
+    # Tail-latency degradation is the price of availability: degraded
+    # requests pay the CPU re-scan, so the recovery p99 grows with the
+    # fault rate while availability stays pinned above no-recovery.
+    assert (reports[(0.3, "recovery")].p99_ns
+            >= reports[(0.0, "recovery")].p99_ns)

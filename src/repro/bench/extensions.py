@@ -290,3 +290,67 @@ def ext_serving_sweep(
         notes="same Poisson schedule per point; policies differ only in "
         "configuration-port scheduling",
     )
+
+
+def ext_faults_sweep(
+    n_rows: int = 512,
+    n_requests: int = 250,
+    n_tenants: int = 2,
+    seed: int = 7,
+    fault_rates: Sequence[float] = (0.0, 0.05, 0.15, 0.3),
+    platform: PlatformConfig = ZCU102,
+) -> FigureResult:
+    """Availability and tail latency vs. hardware fault rate.
+
+    The same Poisson arrival schedule is served twice per fault rate:
+    once with the full recovery stack (retries, per-tenant circuit
+    breakers, CPU row-scan fallback) and once with recovery disabled
+    (every struck request is lost). Recovery holds availability at the
+    cost of tail latency — the degraded requests pay the base-table
+    re-scan — while the no-recovery engine sheds availability linearly
+    with the fault rate.
+    """
+    from ..faults import NO_RECOVERY
+    from ..serve import (
+        OpenLoopWorkload,
+        ServingSystem,
+        default_tenants,
+        profile_workload,
+    )
+
+    tenants = default_tenants(n_tenants=n_tenants, n_rows=n_rows, seed=seed)
+    profile = profile_workload(tenants, platform=platform)
+    rate = 0.5 * profile.saturation_rate_qps()
+    series: Dict[str, List[float]] = {
+        "recovery avail %": [], "no-recovery avail %": [],
+        "recovery p99 ns": [], "no-recovery p99 ns": [],
+        "recovery fallback %": [],
+    }
+    for fault_rate in fault_rates:
+        workload = OpenLoopWorkload(
+            tenants, rate_qps=rate, n_requests=n_requests, seed=seed
+        )
+        recovered = ServingSystem(
+            profile, fault_rate=fault_rate, platform=platform,
+        ).run(workload)
+        bare = ServingSystem(
+            profile, fault_rate=fault_rate, recovery=NO_RECOVERY,
+            platform=platform,
+        ).run(workload)
+        series["recovery avail %"].append(round(100 * recovered.availability, 2))
+        series["no-recovery avail %"].append(round(100 * bare.availability, 2))
+        series["recovery p99 ns"].append(recovered.p99_ns)
+        series["no-recovery p99 ns"].append(bare.p99_ns)
+        series["recovery fallback %"].append(
+            round(100 * recovered.fallback_ratio, 2)
+        )
+    return FigureResult(
+        fig_id="Ext: fault sweep",
+        title="availability and p99 vs. fault rate, with and without recovery",
+        x_label="per-attempt fault probability",
+        xs=list(fault_rates),
+        series=series,
+        y_label="availability (%) / p99 (ns)",
+        notes="same Poisson schedule per point; recovery = retries + "
+        "circuit breakers + CPU row-scan fallback",
+    )

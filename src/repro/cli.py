@@ -85,6 +85,8 @@ _FIGURES: Dict[str, Callable] = {
     "ext-multirun": lambda rows: extension_drivers.ext_noncontiguous_tradeoff(n_rows=rows),
     "ext-serving": lambda rows: extension_drivers.ext_serving_sweep(
         n_rows=max(128, rows // 2)),
+    "ext-faults": lambda rows: extension_drivers.ext_faults_sweep(
+        n_rows=max(128, rows // 2)),
 }
 
 
@@ -193,6 +195,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE",
                        help="override a platform parameter, e.g. "
                             "--config pl_freq_mhz=300 (repeatable)")
+
+    chaos = commands.add_parser(
+        "chaos", help="inject hardware faults and measure recovery")
+    chaos.add_argument("--fault-rates", default="0.0,0.05,0.15,0.3",
+                       metavar="R1,R2,...",
+                       help="per-attempt fault probabilities for the serving "
+                            "sweep (default 0.0,0.05,0.15,0.3)")
+    chaos.add_argument("--requests", type=int, default=300,
+                       help="requests per serving run (default 300)")
+    chaos.add_argument("--tenants", type=int, default=2,
+                       help="tenant count, one table each (default 2)")
+    chaos.add_argument("--rows", type=int, default=512,
+                       help="rows per relation (default 512)")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--design", default="MLP",
+                       help="BSL, PCK or MLP (default MLP)")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="tiny fast parameters for CI smoke runs")
+    chaos.add_argument("--config", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="override a platform parameter (repeatable)")
 
     resources = commands.add_parser("resources", help="Table-3 style estimate")
     resources.add_argument("--design", default="MLP",
@@ -421,6 +444,109 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    from .bench.workloads import make_relation
+    from .core.relmem import RelationalMemorySystem
+    from .faults import DEFAULT_RECOVERY, NO_RECOVERY, FaultPlan
+    from .query.executor import QueryExecutor
+    from .query.queries import q1, q2, q4
+    from .serve import (
+        OpenLoopWorkload,
+        ServingSystem,
+        default_tenants,
+        profile_workload,
+    )
+
+    try:
+        fault_rates = [float(r) for r in args.fault_rates.split(",") if r.strip()]
+    except ValueError:
+        raise _UsageError(f"repro chaos: bad --fault-rates {args.fault_rates!r}")
+    n_rows, n_requests, n_rounds = args.rows, args.requests, 4
+    if args.smoke:
+        n_rows, n_requests, n_rounds = 128, 60, 2
+        fault_rates = [0.0, 0.2]
+    platform = _platform_from_overrides(args.config)
+    design = design_by_name(args.design)
+
+    # -- engine-level chaos: Poisson fault storm through the executor ----------
+    table = make_relation(n_rows, seed=args.seed)
+    system = RelationalMemorySystem(platform, design)
+    executor = QueryExecutor(system)
+    loaded = system.load_table(table)
+    queries = [("project", q1("A3")),
+               ("filter", q2(col="A1", sel_col="A2", k=0)),
+               ("sum", q4("A1"))]
+    plans = {}
+    golden = {}
+    for name, query in queries:
+        var = system.register_var(
+            loaded, list(query.columns()), activate=False,
+            allow_noncontiguous=True,
+        )
+        plans[name] = (query, var)
+        golden[name] = executor.run_rme(query, var).value
+    injector = system.enable_faults(
+        FaultPlan.poisson(
+            duration_ns=250_000.0,
+            rates_per_ms={"dram_bitflip": 200.0, "buffer_poison": 80.0,
+                          "descriptor_corrupt": 80.0, "fetch_hang": 25.0,
+                          "axi_stall": 60.0},
+            seed=args.seed,
+        ),
+        DEFAULT_RECOVERY,
+    )
+    rows_out = []
+    for round_idx in range(n_rounds):
+        for name, (query, var) in plans.items():
+            result = executor.run_rme(query, var)
+            rows_out.append([
+                str(round_idx), name, result.state,
+                "yes" if result.value == golden[name] else "NO",
+                f"{result.elapsed_ns:.0f}",
+            ])
+    print("engine chaos (Poisson fault storm, full recovery stack):", file=out)
+    print(render_table(
+        ["round", "template", "state", "answer ok", "elapsed ns"], rows_out,
+    ), file=out)
+    counters = ["fired_total", "rme_faults", "cpu_fallbacks", "crc_catches",
+                "silent_corruptions"]
+    print("  " + "  ".join(
+        f"{name}={injector.stats.count(name)}" for name in counters
+    ), file=out)
+    print("", file=out)
+
+    # -- serving-level sweep: availability with and without recovery -----------
+    tenants = default_tenants(
+        n_tenants=args.tenants, n_rows=n_rows, seed=args.seed
+    )
+    profile = profile_workload(tenants, platform=platform, design=design)
+    rate = 0.5 * profile.saturation_rate_qps()
+    rows_out = []
+    for fault_rate in fault_rates:
+        for label, recovery in (("recovery", DEFAULT_RECOVERY),
+                                ("no-recovery", NO_RECOVERY)):
+            workload = OpenLoopWorkload(
+                tenants, rate_qps=rate, n_requests=n_requests, seed=args.seed
+            )
+            report = ServingSystem(
+                profile, fault_rate=fault_rate, recovery=recovery,
+                platform=platform, design=design,
+            ).run(workload)
+            rows_out.append([
+                f"{fault_rate:g}", label,
+                f"{100 * report.availability:.2f}",
+                f"{report.p99_ns:.0f}",
+                f"{100 * report.fallback_ratio:.2f}",
+                str(report.failed), str(report.breaker_opens),
+            ])
+    print("serving sweep (same arrival schedule per point):", file=out)
+    print(render_table(
+        ["fault rate", "policy", "avail %", "p99 ns", "fallback %",
+         "failed", "breaker opens"], rows_out,
+    ), file=out)
+    return 0
+
+
 def _cmd_resources(args, out) -> int:
     design = design_by_name(args.design)
     report = estimate_resources(design)
@@ -463,6 +589,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "figures": _cmd_figures,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "resources": _cmd_resources,
@@ -470,6 +597,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     }[args.command]
     try:
         return handler(args, out)
+    except _UsageError as exc:
+        print(f"error: {exc} (see 'repro --help')", file=out)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 1

@@ -151,6 +151,8 @@ class RelationalMemorySystem:
         self._tables: Dict[str, LoadedTable] = {}
         self._active_var: Optional[EphemeralVariable] = None
         self._names = itertools.count()
+        #: Optional :class:`repro.faults.FaultInjector`; see enable_faults.
+        self.faults = None
         self.metrics = self._build_metrics()
 
     def _build_metrics(self) -> MetricsRegistry:
@@ -185,6 +187,31 @@ class RelationalMemorySystem:
         tracer = Tracer(capacity=capacity)
         tracer.attach(self.sim)
         return tracer
+
+    def enable_faults(self, plan, recovery=None):
+        """Arm a fault-injection plan across every hardware component.
+
+        ``plan`` is a :class:`repro.faults.FaultPlan`; ``recovery`` a
+        :class:`repro.faults.RecoveryPolicy` (defaults to
+        ``DEFAULT_RECOVERY``). Returns the shared
+        :class:`~repro.faults.FaultInjector` so tests can inspect its log.
+        Components check a single attribute when disarmed, so a system
+        that never calls this is cycle-identical to one without the fault
+        subsystem at all.
+        """
+        from ..faults import DEFAULT_RECOVERY, FaultInjector
+
+        injector = FaultInjector(
+            plan, recovery if recovery is not None else DEFAULT_RECOVERY
+        )
+        self.faults = injector
+        self.dram.faults = injector
+        self.rme.faults = injector
+        self.rme.trapper.faults = injector
+        self.rme.fetch_pool.faults = injector
+        self.rme.fetch_pool.axi.faults = injector
+        self.metrics.attach("faults", injector.stats)
+        return injector
 
     # -- loading relations ------------------------------------------------------------
     def load_table(
@@ -585,6 +612,15 @@ class RelationalMemorySystem:
             pushdown=getattr(var, "pushdown", None),
         )
         self._active_var = var
+
+    def deactivate(self) -> None:
+        """Drop the active variable so its next activation reconfigures.
+
+        The degraded-mode executor calls this after a fault: the engine's
+        failed state is only cleared by :meth:`RMEngine.configure`, and a
+        hot-buffer shortcut must not mask it.
+        """
+        self._active_var = None
 
     def is_active(self, var: EphemeralVariable) -> bool:
         """Whether this variable's geometry is the one the engine holds."""

@@ -50,3 +50,35 @@ class QueryError(ReproError):
 
 class CompressionError(ReproError):
     """Encoded data could not be decoded, or an encoding scheme is unusable."""
+
+
+class FaultError(ReproError):
+    """An injected hardware fault could not be recovered in place.
+
+    Carries enough context for triage: the faulted physical address (when
+    the fault hit a memory access) and the request descriptor in flight
+    (when it hit the fetch pipeline). The query layer catches this subtree
+    and falls back to the CPU row-scan path — the base table is intact in
+    DRAM, so the fallback answer is staleness-free.
+    """
+
+    def __init__(self, message: str, addr: int = None, descriptor=None):
+        super().__init__(message)
+        self.addr = addr
+        self.descriptor = descriptor
+
+
+class UncorrectableMemoryError(FaultError):
+    """ECC detected a multi-bit DRAM error it could not correct."""
+
+
+class FetchTimeoutError(FaultError):
+    """The RME watchdog gave up on a wedged fetch session."""
+
+
+class DescriptorIntegrityError(FaultError):
+    """A descriptor register failed its CRC check and could not be re-read."""
+
+
+class BufferIntegrityError(FaultError):
+    """A reorganization-buffer line failed its parity check."""

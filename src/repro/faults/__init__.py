@@ -1,0 +1,52 @@
+"""repro.faults — seeded fault injection and recovery machinery.
+
+The paper's prototype (and the rest of this reproduction) assumes the
+programmable logic, the AXI fabric and DRAM never misbehave. This package
+makes failure a first-class, simulatable input:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` (a deterministic schedule
+  of :class:`FaultEvent` records) and :class:`FaultInjector` (the shared
+  per-system consumer; disabled injection is a ``None`` attribute check,
+  the same zero-cost-when-off bar as telemetry);
+* :mod:`repro.faults.recovery` — :class:`RecoveryPolicy` presets
+  (:data:`DEFAULT_RECOVERY`, :data:`NO_RECOVERY`) and the serving-layer
+  :class:`CircuitBreaker`.
+
+Arm a system with
+:meth:`repro.core.relmem.RelationalMemorySystem.enable_faults`; drive
+chaos sweeps with ``python -m repro chaos``. See ``docs/faults.md``.
+"""
+
+from .plan import (
+    DEFAULT_BITFLIP_WEIGHTS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    POISONED,
+)
+from .recovery import (
+    CLOSED,
+    DEFAULT_RECOVERY,
+    HALF_OPEN,
+    NO_RECOVERY,
+    OPEN,
+    CircuitBreaker,
+    RecoveryPolicy,
+)
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "DEFAULT_BITFLIP_WEIGHTS",
+    "DEFAULT_RECOVERY",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HALF_OPEN",
+    "NO_RECOVERY",
+    "OPEN",
+    "POISONED",
+    "RecoveryPolicy",
+]

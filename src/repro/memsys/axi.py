@@ -14,6 +14,7 @@ from itertools import count
 from typing import Iterator
 
 from ..errors import SimulationError
+from ..sim import StatSet
 
 _txn_ids: Iterator[int] = count(1)
 
@@ -51,3 +52,36 @@ def beats_for(nbytes: int, bus_bytes: int) -> int:
     if nbytes <= 0 or bus_bytes <= 0:
         raise SimulationError("beats_for requires positive sizes")
     return -(-nbytes // bus_bytes)
+
+
+class AXILink:
+    """One direction-agnostic hop of the PL<->DRAM AXI path.
+
+    The Fetch Units previously charged a bare timeout per traversal; the
+    link object keeps that exact cost (one simulator event per hop, so
+    timing is bit-identical with faults off) while giving the fault layer
+    a place to stall beats: an armed ``axi_stall`` event stretches one
+    traversal by its ``duration_ns``, modelling a throttled interconnect
+    or a timed-out handshake retry.
+    """
+
+    def __init__(self, sim, latency_ns: float, name: str = "axi"):
+        if latency_ns < 0:
+            raise SimulationError("AXI link latency must be >= 0")
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self.stats = StatSet(name)
+        #: Optional :class:`repro.faults.FaultInjector` (None = no faults).
+        self.faults = None
+
+    def traverse(self, direction: str = "read"):
+        """A process: one hop across the link."""
+        delay = self.latency_ns
+        if self.faults is not None:
+            event = self.faults.draw("axi_stall", self.sim.now)
+            if event is not None:
+                delay += event.duration_ns
+                self.stats.bump("stalls_" + direction)
+                self.stats.bump("stall_ns", event.duration_ns)
+        yield self.sim.timeout(delay)
+        return None

@@ -29,7 +29,7 @@ from typing import List, Tuple
 from ..config import DRAMTimings
 from ..errors import SimulationError
 from ..sim import Simulator, StatSet
-from ..sim.trace import emit_span
+from ..sim.trace import emit, emit_span
 from .memmap import PhysicalMemory
 
 
@@ -61,6 +61,9 @@ class DRAM:
         self.stats = StatSet(name)
         self._banks: List[_Bank] = [_Bank() for _ in range(timings.n_banks)]
         self._bus_free_at: float = 0.0
+        #: Optional :class:`repro.faults.FaultInjector` (None = no faults;
+        #: the check costs one attribute load, like disabled tracing).
+        self.faults = None
 
     # -- address mapping -----------------------------------------------------
     def locate(self, addr: int) -> Tuple[int, int]:
@@ -124,7 +127,34 @@ class DRAM:
         yield self.sim.timeout(transfer_end - self.sim.now)
         emit_span(self.sim, self.name, "access", arrival,
                   bank=bank_idx, row=row_state, beats=beats, source=source)
-        return self.memory.read(addr, nbytes)
+        data = self.memory.read(addr, nbytes)
+        if self.faults is not None:
+            data = self._apply_ecc(data, addr)
+        return data
+
+    def _apply_ecc(self, data: bytes, addr: int):
+        """SECDED word model for an armed ``dram_bitflip`` event.
+
+        One flipped bit per ECC word is corrected in flight (counter
+        only), two are detected but uncorrectable (the access returns
+        :data:`~repro.faults.POISONED` instead of data — the caller's
+        retry re-reads the intact array), three or more escape silently:
+        the returned payload really is corrupt.
+        """
+        from ..faults import POISONED
+
+        event = self.faults.draw("dram_bitflip", self.sim.now)
+        if event is None:
+            return data
+        if event.severity == 1:
+            self.stats.bump("ecc_corrected")
+            return data
+        if event.severity == 2:
+            self.stats.bump("ecc_uncorrectable")
+            emit(self.sim, self.name, "ecc_poison", addr=addr)
+            return POISONED
+        self.stats.bump("ecc_escaped")
+        return self.faults.corrupt_bytes(data, n_flips=event.severity)
 
     def write(self, addr: int, nbytes: int, source: str = "writeback"):
         """Write ``nbytes`` at ``addr``; a process ending when the data is

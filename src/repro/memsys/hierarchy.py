@@ -50,7 +50,37 @@ class DRAMBackend(LineBackend):
     def read_line(self, line_base: int, source: str = "cpu"):
         line = self.dram.memory.memmap.find(line_base)  # validates mapping
         del line
-        return self.dram.access(line_base, 64, source=source)
+        if self.dram.faults is None:
+            return self.dram.access(line_base, 64, source=source)
+        return self._read_with_ecc(line_base, source)
+
+    def _read_with_ecc(self, line_base: int, source: str):
+        """Retry detected-uncorrectable reads; escalate when they persist.
+
+        A re-read usually succeeds (the flip was in flight, the array is
+        intact); a persistently poisoned line raises
+        :class:`~repro.errors.UncorrectableMemoryError` up the CPU load
+        chain, where the query layer degrades to another access path.
+        """
+        from ..errors import UncorrectableMemoryError
+        from ..faults import POISONED
+
+        policy = self.dram.faults.recovery
+        attempt = 0
+        while True:
+            data = yield from self.dram.access(line_base, 64, source=source)
+            if data is not POISONED:
+                return data
+            if not policy.enabled or attempt >= policy.max_retries:
+                self.dram.faults.stats.bump("dram_unrecoverable")
+                raise UncorrectableMemoryError(
+                    f"uncorrectable DRAM error at {line_base:#x} after "
+                    f"{attempt} retries",
+                    addr=line_base,
+                )
+            attempt += 1
+            self.dram.faults.stats.bump("dram_read_retries")
+            yield self.dram.sim.timeout(policy.retry_backoff_ns * attempt)
 
 
 class MemoryHierarchy:
@@ -99,7 +129,21 @@ class MemoryHierarchy:
         for region, backend in self._backends:
             if region.contains(addr):
                 return backend
-        raise MemoryMapError(f"no backend serves address {addr:#x}")
+        # Fault triage needs to know how far off the address is, not just
+        # that it missed: name the nearest mapped region and its bounds.
+        nearest = min(
+            (r for r, _b in self._backends),
+            key=lambda r: min(abs(addr - r.base), abs(addr - (r.limit - 1))),
+            default=None,
+        )
+        if nearest is None:
+            raise MemoryMapError(
+                f"no backend serves address {addr:#x} (no regions are mapped)"
+            )
+        raise MemoryMapError(
+            f"no backend serves address {addr:#x}; nearest mapped region is "
+            f"{nearest.name!r} [{nearest.base:#x}, {nearest.limit:#x})"
+        )
 
     def _region_of(self, addr: int) -> Optional[Region]:
         for region, _backend in self._backends:

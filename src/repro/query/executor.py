@@ -30,7 +30,7 @@ from ..core.relmem import (
     LoadedTable,
     RelationalMemorySystem,
 )
-from ..errors import QueryError
+from ..errors import FaultError, QueryError, SimulationError
 from ..memsys.cpu import ScanSegment
 from . import ops
 from .expr import key_range
@@ -130,7 +130,38 @@ class QueryExecutor:
         value, selectivity, n_rows = self._answer(query, var.loaded, var)
         compute = query.row_compute_ns(selectivity)
         segments = var.scan_segment(compute, query.passes)
-        elapsed = self._measure(segments, flush)
+        faults = self.system.faults
+        if faults is None:
+            elapsed = self._measure(segments, flush)
+            return self._result(query, AccessPath.RME, value, elapsed,
+                                n_rows, selectivity, state)
+        sim = self.system.sim
+        start_ns = sim.now
+        try:
+            elapsed = self._measure(segments, flush)
+        except FaultError as error:
+            # The engine declared the access unrecoverable mid-scan. The
+            # simulated time already burnt stays on the bill; the answer
+            # is recomputed from the authoritative base table (same
+            # snapshot semantics — ``value`` came from the variable's
+            # visible versions, so degradation is staleness-free).
+            wasted = sim.now - start_ns
+            faults.stats.bump("rme_faults")
+            faults.stats.bump("wasted_ns", wasted)
+            faults.stats.bump(f"fault_{type(error).__name__}")
+            self._drain_fault_wreckage()
+            self.system.deactivate()
+            if not faults.recovery.cpu_fallback:
+                raise
+            faults.stats.bump("cpu_fallbacks")
+            rescan = self._direct_rescan_ns(query, var, selectivity)
+            return self._result(query, AccessPath.DIRECT_ROW, value,
+                                wasted + rescan, n_rows, selectivity,
+                                "degraded")
+        audited = self._audit_rme(query, var, value, selectivity, n_rows,
+                                  elapsed)
+        if audited is not None:
+            return audited
         return self._result(query, AccessPath.RME, value, elapsed,
                             n_rows, selectivity, state)
 
@@ -343,6 +374,86 @@ class QueryExecutor:
             mask = loaded.versioned.visibility_mask(loaded.current_ts())
             rows = [row for row, visible in zip(rows, mask) if visible]
         return rows
+
+    # -- fault handling ------------------------------------------------------------
+    def _drain_fault_wreckage(self) -> None:
+        """Run the simulator to empty after a fault escaped a measure.
+
+        Other in-flight processes (prefetch fills stalled on the failed
+        session) were woken with the same exception; each surfaces from a
+        later ``sim.run`` and must be absorbed before the next clean
+        measurement."""
+        while True:
+            try:
+                self.system.sim.run()
+            except FaultError:
+                self.system.faults.stats.bump("wreckage_drained")
+                continue
+            return
+
+    def _direct_rescan_ns(self, query: Query, var: EphemeralVariable,
+                          selectivity: float) -> float:
+        """Price the degraded-mode base-table re-scan (no cache flush —
+        the fault interrupted a run already in progress)."""
+        offset, width = var.loaded.schema.covering_group(query.columns())
+        segment = ScanSegment(
+            start=var.loaded.base_addr + offset,
+            n_elems=var.loaded.table.n_rows,
+            elem_size=width,
+            stride=var.loaded.schema.row_size,
+            compute_ns=query.row_compute_ns(selectivity),
+            name=f"fallback:{query.name}",
+        )
+        return self._measure([segment] * query.passes, flush=False)
+
+    def _audit_rme(self, query, var, value, selectivity, n_rows, elapsed):
+        """End-to-end check of the packed projection after a clean scan.
+
+        Catches corruption that slipped past ECC, descriptor CRC and
+        buffer parity (escaped multi-bit flips, checks disabled by
+        policy). Returns a replacement result when the projection is
+        corrupt, else None. Only plain full projections are auditable —
+        windowed and pushdown variables never hold the whole projection.
+        """
+        faults = self.system.faults
+        if (var.windowed or getattr(var, "pushdown", None) is not None
+                or not self.system.is_active(var)):
+            return None
+        try:
+            actual = self.system.rme.packed_bytes()
+        except SimulationError:
+            return None
+        if actual == var.expected_packed_bytes():
+            return None
+        faults.stats.bump("corrupt_projections")
+        if faults.recovery.crc_checks:
+            # The software checksum pass catches it: re-answer from the
+            # base table and make the next access reconfigure.
+            faults.stats.bump("crc_catches")
+            self.system.deactivate()
+            rescan = self._direct_rescan_ns(query, var, selectivity)
+            return self._result(query, AccessPath.DIRECT_ROW, value,
+                                elapsed + rescan, n_rows, selectivity,
+                                "degraded")
+        # Undetected with checks off: the CPU really computes over the
+        # corrupted bytes. Decode what the buffer holds and answer from
+        # that — wrong on purpose, flagged for the chaos harness.
+        faults.stats.bump("silent_corruptions")
+        corrupted = self._decode_packed(query, var, actual)
+        return self._result(query, AccessPath.RME, corrupted, elapsed,
+                            n_rows, selectivity, "corrupt")
+
+    def _decode_packed(self, query: Query, var: EphemeralVariable,
+                       packed: bytes):
+        """Evaluate the query over raw packed buffer bytes."""
+        schema = var.group_schema
+        width = schema.row_size
+        rows = [
+            dict(zip(schema.names, schema.unpack_row(packed[off:off + width])))
+            for off in range(0, len(packed) - width + 1, width)
+        ]
+        kept = ops.filter_rows(rows, query.predicate)
+        return self._finalize(query, kept)
 
     # -- timing ------------------------------------------------------------------------
     def _measure(self, segments: Sequence[ScanSegment], flush: bool) -> float:

@@ -8,7 +8,9 @@ reorganization buffer. See Section 5 ("Requestor") and Eqs. (1)-(6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..errors import GeometryError
 
@@ -54,3 +56,37 @@ class RequestDescriptor:
                 f"lead={self.lead_skip} + C={self.col_width}"
             )
         return payload[self.lead_skip : self.lead_skip + self.col_width]
+
+    def checksum(self) -> int:
+        """A small CRC over the descriptor registers.
+
+        The Requestor writes it alongside the registers; a Fetch Unit
+        recomputes it before issuing, so a register upset between hand-off
+        and issue is detectable (and the golden copy re-latched) when the
+        recovery policy enables CRC checks.
+        """
+        crc = 0
+        for word in (self.row, self.r_addr, self.burst, self.w_addr,
+                     self.lead_skip, self.trail_cut, self.col_width,
+                     self.bus_bytes):
+            crc = ((crc << 5) ^ (crc >> 27) ^ word) & 0xFFFFFFFF
+        return crc
+
+    def tampered(self, rng: random.Random,
+                 payload_bytes: int) -> Optional["RequestDescriptor"]:
+        """The descriptor after a register upset flips its lead-skip field.
+
+        Only ``lead_skip`` is perturbed: the replica stays within the
+        dataclass invariants and its buffer write keeps the original
+        length and address, so the corruption is *silent* — wrong bytes,
+        right shape — unless a CRC check catches it. Returns ``None``
+        when no in-range perturbation exists (single-byte bus, or the
+        burst payload is too short for any other skip).
+        """
+        candidates = [
+            skip for skip in range(self.bus_bytes)
+            if skip != self.lead_skip and skip + self.col_width <= payload_bytes
+        ]
+        if not candidates:
+            return None
+        return replace(self, lead_skip=candidates[rng.randrange(len(candidates))])

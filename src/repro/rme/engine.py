@@ -32,7 +32,7 @@ import math
 from typing import Optional
 
 from ..config import PlatformConfig, RMEConfig
-from ..errors import ConfigurationError, MemoryMapError
+from ..errors import ConfigurationError, FetchTimeoutError, MemoryMapError
 from ..memsys.dram import DRAM
 from ..sim import Simulator, StatSet, Store
 from ..sim.trace import emit, emit_span
@@ -84,6 +84,14 @@ class RMEngine:
             sim, platform, dram, self.monitor, design, f"{name}-fetch"
         )
         self.monitor.activation_hook = self._start_current_window
+        self.fetch_pool.on_unrecoverable = self._fail
+        #: Optional :class:`repro.faults.FaultInjector` (None = no faults).
+        self.faults = None
+        #: The FaultError that killed the current configuration, if any;
+        #: every subsequent trapped read re-raises it until reconfigured.
+        self._fault = None
+        #: Watchdog restarts since the last forward progress.
+        self._session_restarts = 0
         self.geometry: Optional[TableGeometry] = None
         self.ephemeral_base: Optional[int] = None
         self.requestor: Optional[Requestor] = None
@@ -153,6 +161,8 @@ class RMEngine:
                 )
             pushdown.validate(config.col_width)
         self._cancel_session()
+        self._fault = None
+        self._session_restarts = 0
         self._plan_windows(config, windowed)
         self._pushdown = pushdown
         self._reset_pushdown_state()
@@ -306,8 +316,85 @@ class RMEngine:
                 self._pushdown_supervisor(worker_procs, session),
                 name="pushdown-supervisor",
             )
+        if (self.faults is not None and self.faults.recovery.enabled
+                and self.faults.recovery.watchdog_ns > 0):
+            self.sim.process(self._watchdog(session), name="rme-watchdog")
         self.stats.bump("pipeline_starts")
         emit(self.sim, "rme", "pipeline_start", window=window, workers=workers)
+
+    # -- fault detection and recovery ----------------------------------------------
+    def _fetch_progress(self) -> float:
+        """A monotone proxy for pipeline progress.
+
+        Descriptor retirements cover every mode (pushdown reductions write
+        the buffer only at finalisation); buffer bytes catch the writer
+        tail after the last descriptor retires.
+        """
+        return (self.fetch_pool.stats.count("descriptors")
+                + self.buffer.stats.total("writes"))
+
+    def _watchdog(self, session: _FetchSession):
+        """Per-session liveness monitor: restart a stalled fetch pipeline,
+        declare the session failed once the restart budget is spent."""
+        policy = self.faults.recovery
+        last_progress = self._fetch_progress()
+        while True:
+            yield self.sim.timeout(policy.watchdog_ns)
+            if (session.cancelled or self._session is not session
+                    or self._fault is not None):
+                return None
+            if self.buffer.n_lines and (
+                    self.buffer.ready_lines == self.buffer.n_lines):
+                return None  # current window fully resident: nothing to guard
+            progress = self._fetch_progress()
+            if progress > last_progress:
+                last_progress = progress
+                self._session_restarts = 0
+                continue
+            self.stats.bump("watchdog_fires")
+            emit(self.sim, "rme", "watchdog_fire", window=self._current_window)
+            if self._session_restarts >= policy.max_retries:
+                self._fail(FetchTimeoutError(
+                    "fetch pipeline made no progress through "
+                    f"{self._session_restarts} restarts"
+                ))
+                return None
+            self._session_restarts += 1
+            yield from self._restart_session(policy)
+            return None  # the new session brings its own watchdog
+
+    def _restart_session(self, policy):
+        """A process: tear the wedged session down and refetch the window."""
+        from .pushdown import HWAggregation, HWGroupBy
+
+        restart_start = self.sim.now
+        self.stats.bump("fetch_restarts")
+        self._cancel_session()
+        yield self.sim.timeout(policy.retry_backoff_ns * self._session_restarts)
+        if isinstance(self._pushdown, (HWAggregation, HWGroupBy)):
+            self.buffer.reset(self._pushdown.result_buffer_bytes)
+        else:
+            self.buffer.reset(self._window_size(self._current_window))
+        if self._pushdown is not None:
+            self._reset_pushdown_state()
+        self.monitor.invalidate_waiters()
+        emit_span(self.sim, "rme", "fetch_restart", restart_start,
+                  attempt=self._session_restarts)
+        self._start_current_window()
+        return None
+
+    def _fail(self, error) -> None:
+        """Declare the current configuration unrecoverable.
+
+        Stalled trapped reads wake with the exception and re-raise it
+        inside the CPU's load chain; later reads re-raise it at entry.
+        Only :meth:`configure` clears the condition.
+        """
+        self.stats.bump("session_failures")
+        self._fault = error
+        self._cancel_session()
+        self.monitor.fail_waiters(error)
+        emit(self.sim, "rme", "session_failed", error=type(error).__name__)
 
     # -- pushdown (selection / aggregation in the PL) ----------------------------------
     def _pushdown_sink(self, descriptor, useful: bytes, session):
@@ -431,10 +518,19 @@ class RMEngine:
 
         line = self.platform.cache_line
         if not self._windowed:
-            result = yield from self.trapper.read_line(line_idx)
-            return result
+            while True:
+                if self._fault is not None:
+                    raise self._fault
+                result = yield from self.trapper.read_line(line_idx)
+                if result is not None:
+                    return result
+                # Stale wake: a fault restart reset the buffer underneath
+                # this request; retry against the refilled state.
+                self.stats.bump("fault_retries")
         lines_per_window = self._window_bytes // line
         while True:
+            if self._fault is not None:
+                raise self._fault
             window = line_idx // lines_per_window
             if window == self._current_window:
                 rel_line = line_idx - window * lines_per_window

@@ -20,12 +20,18 @@ stalls on its write acknowledgement.
 from __future__ import annotations
 
 from ..config import PlatformConfig
+from ..errors import UncorrectableMemoryError
+from ..memsys.axi import AXILink
 from ..memsys.dram import DRAM
 from ..sim import Simulator, StatSet, Store
 from ..sim.trace import emit_span
 from .designs import DesignParams
 from .monitor_bypass import MonitorBypass
 from .requestor import STOP, Requestor
+
+#: Poll quantum of a wedged lane: long enough to stay cheap, short enough
+#: that a watchdog cancellation takes effect promptly.
+_HANG_POLL_NS = 5_000.0
 
 
 class FetchUnitPool:
@@ -46,6 +52,8 @@ class FetchUnitPool:
         self.monitor = monitor
         self.design = design
         self.stats = StatSet(name)
+        #: The PL<->DRAM AXI path, one hop each way per descriptor.
+        self.axi = AXILink(sim, platform.pl_dram_latency_ns / 2.0, f"{name}-axi")
         #: The single PL->DRAM issue port all workers share; modelled as a
         #: reservation so back-to-back issues serialise.
         self._issue_port_free_at: float = 0.0
@@ -56,6 +64,12 @@ class FetchUnitPool:
         #: ``result_sink(descriptor, useful_bytes, session)`` (a process)
         #: instead of being written straight to the buffer.
         self.result_sink = None
+        #: Optional :class:`repro.faults.FaultInjector` (None = no faults).
+        self.faults = None
+        #: Callback the engine installs: invoked with a FaultError when a
+        #: descriptor's data is unrecoverable. Workers are independent
+        #: processes and must not raise toward the CPU themselves.
+        self.on_unrecoverable = None
 
     # -- timing helpers ------------------------------------------------------------
     def _reserve_issue_port(self) -> float:
@@ -86,7 +100,6 @@ class FetchUnitPool:
         up side by side in the exported timeline.
         """
         cfg = self.platform
-        travel = cfg.pl_dram_latency_ns / 2.0
         lane_name = f"fetch-{lane}"
         while True:
             descriptor = yield dispatch.get()
@@ -96,16 +109,44 @@ class FetchUnitPool:
                 requestor.retire()
                 continue
             service_start = self.sim.now
+            read_bytes = min(descriptor.read_bytes, self.read_limit - descriptor.r_addr)
+            if self.faults is not None:
+                descriptor = yield from self._latch_descriptor(
+                    descriptor, read_bytes
+                )
+                hang = self.faults.draw("fetch_hang", self.sim.now)
+                if hang is not None:
+                    yield from self._hang(hang, session, lane_name)
+                    if session is not None and session.cancelled:
+                        self.stats.bump("bytes_dropped", read_bytes)
+                        requestor.retire()
+                        continue
             # Reader: occupy the issue port, then the long PL->DRAM path.
             yield self.sim.timeout(self._reserve_issue_port())
-            yield self.sim.timeout(travel)
-            read_bytes = min(descriptor.read_bytes, self.read_limit - descriptor.r_addr)
+            yield from self.axi.traverse("read")
             dram_start = self.sim.now
-            payload = yield from self.dram.access(
-                descriptor.r_addr, read_bytes, source="rme"
-            )
+            if self.faults is None:
+                payload = yield from self.dram.access(
+                    descriptor.r_addr, read_bytes, source="rme"
+                )
+            else:
+                payload = yield from self._fetch_payload(descriptor, read_bytes)
+                if payload is None:
+                    # Unrecoverable even after retries: report to the
+                    # engine (which fails the session toward the CPU) and
+                    # drop the descriptor.
+                    self.stats.bump("unrecoverable_reads")
+                    if self.on_unrecoverable is not None:
+                        self.on_unrecoverable(UncorrectableMemoryError(
+                            f"DRAM read at {descriptor.r_addr:#x} stayed "
+                            "uncorrectable after retries",
+                            addr=descriptor.r_addr,
+                            descriptor=descriptor,
+                        ))
+                    requestor.retire()
+                    continue
             self.stats.observe("dram_wait_ns", self.sim.now - dram_start)
-            yield self.sim.timeout(travel)
+            yield from self.axi.traverse("return")
             # Column Extractor: one cycle, plus one per extra beat it must
             # accumulate before the output is valid.
             extract_cycles = cfg.extractor_cycles + (descriptor.burst - 1)
@@ -138,6 +179,69 @@ class FetchUnitPool:
             emit_span(self.sim, lane_name, "descriptor", service_start,
                       row=descriptor.row, bytes=len(useful))
             requestor.retire()
+
+    # -- fault behaviours (only reached when ``self.faults`` is armed) --------------
+    def _latch_descriptor(self, descriptor, read_bytes: int):
+        """Re-read the descriptor registers, possibly through an upset.
+
+        A ``descriptor_corrupt`` event flips the lead-skip register between
+        hand-off and issue. With CRC checks enabled the mismatch is caught
+        and the golden copy re-latched (one backoff delay); without them
+        the tampered descriptor silently extracts the wrong bytes.
+        """
+        event = self.faults.draw("descriptor_corrupt", self.sim.now)
+        if event is None:
+            return descriptor
+        tampered = descriptor.tampered(self.faults.rng, read_bytes)
+        if tampered is None:
+            self.stats.bump("descriptor_upsets_harmless")
+            return descriptor
+        if (self.faults.recovery.crc_checks
+                and tampered.checksum() != descriptor.checksum()):
+            self.stats.bump("descriptor_crc_catches")
+            yield self.sim.timeout(self.faults.recovery.retry_backoff_ns)
+            return descriptor
+        self.stats.bump("descriptor_corruptions")
+        return tampered
+
+    def _hang(self, event, session, lane_name: str):
+        """A wedged lane: poll until the hang elapses or the session dies.
+
+        The loop is bounded (the event carries a finite duration) so the
+        simulator's run-to-drain loop always terminates, and it polls the
+        session's cancelled flag so a watchdog restart frees the lane
+        without waiting out the full hang.
+        """
+        self.stats.bump("lane_hangs")
+        start = self.sim.now
+        deadline = start + event.duration_ns
+        while self.sim.now < deadline:
+            if session is not None and session.cancelled:
+                break
+            yield self.sim.timeout(
+                min(_HANG_POLL_NS, deadline - self.sim.now)
+            )
+        self.stats.observe("hang_ns", self.sim.now - start)
+        emit_span(self.sim, lane_name, "hang", start)
+        return None
+
+    def _fetch_payload(self, descriptor, read_bytes: int):
+        """DRAM read with retry-on-poison; returns bytes or None."""
+        from ..faults import POISONED
+
+        policy = self.faults.recovery
+        attempt = 0
+        while True:
+            payload = yield from self.dram.access(
+                descriptor.r_addr, read_bytes, source="rme"
+            )
+            if payload is not POISONED:
+                return payload
+            if not policy.enabled or attempt >= policy.max_retries:
+                return None
+            attempt += 1
+            self.stats.bump("poisoned_retries")
+            yield self.sim.timeout(policy.retry_backoff_ns * attempt)
 
     # -- introspection -------------------------------------------------------------------
     @property

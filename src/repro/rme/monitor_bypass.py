@@ -136,3 +136,17 @@ class MonitorBypass:
             for event in events:
                 self.stats.bump("stale_wakes")
                 event.succeed("stale")
+
+    def fail_waiters(self, error: BaseException) -> None:
+        """Wake every stalled request with a fault marker.
+
+        Fetch-unit processes cannot raise toward the CPU (they are
+        independent simulation processes); when the engine declares the
+        session unrecoverable it hands the exception to the stalled
+        Trapper reads, which re-raise it inside the CPU's load chain.
+        """
+        waiters, self._waiters = self._waiters, {}
+        for events in waiters.values():
+            for event in events:
+                self.stats.bump("fault_wakes")
+                event.succeed(error)

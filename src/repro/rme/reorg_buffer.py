@@ -46,6 +46,7 @@ class ReorganizationBuffer:
         self._fill: list = []  #: bytes received per packed line
         self._target: list = []  #: bytes expected per packed line
         self._valid_bytes = 0
+        self._poisoned: set = set()  #: lines whose BRAM words took an upset
 
     # -- configuration -----------------------------------------------------------
     def reset(self, projected_bytes: int) -> None:
@@ -67,6 +68,7 @@ class ReorganizationBuffer:
         ]
         # Old contents are stale, not secret: zero them for determinism.
         self._data[:projected_bytes] = bytes(projected_bytes)
+        self._poisoned.clear()
         self.stats.bump("resets")
 
     @property
@@ -152,6 +154,28 @@ class ReorganizationBuffer:
     @property
     def ready_lines(self) -> int:
         return sum(1 for f, t in zip(self._fill, self._target) if f == t)
+
+    # -- fault injection (BRAM single-event upsets) ---------------------------------
+    def poison(self, line_idx: int, rng) -> None:
+        """Flip one stored bit of ``line_idx`` and mark its parity bad.
+
+        The corruption is real: the flipped byte lands in ``_data``, so a
+        parity-less engine serves genuinely wrong bytes and the software
+        audit sees them. With parity on, the next read of the line raises
+        instead of returning the bad data.
+        """
+        self._check_line(line_idx)
+        span = self._target[line_idx]
+        if span <= 0:
+            return
+        offset = line_idx * self.line_size + rng.randrange(span)
+        self._data[offset] ^= 1 << rng.randrange(8)
+        self._poisoned.add(line_idx)
+        self.stats.bump("poisoned_lines")
+
+    def parity_ok(self, line_idx: int) -> bool:
+        self._check_line(line_idx)
+        return line_idx not in self._poisoned
 
     def _check_line(self, line_idx: int) -> None:
         if not 0 <= line_idx < len(self._fill):

@@ -16,6 +16,7 @@ than DRAM even though whole-query behaviour is better.
 from __future__ import annotations
 
 from ..config import PlatformConfig
+from ..errors import BufferIntegrityError, FaultError
 from ..memsys.cdc import ClockDomain
 from ..sim import Simulator, StatSet
 from ..sim.trace import emit, emit_span
@@ -41,6 +42,8 @@ class Trapper:
         self.stats = StatSet(name)
         self.pl_clock = ClockDomain("pl", platform.pl_freq_mhz)
         self._response_port_free_at: float = 0.0
+        #: Optional :class:`repro.faults.FaultInjector` (None = no faults).
+        self.faults = None
 
     def read_line(self, line_idx: int):
         """A process serving one trapped cache-line read; returns the bytes."""
@@ -48,6 +51,8 @@ class Trapper:
         arrival = self.sim.now
         self.stats.bump("requests")
         self.monitor.notice_access()
+        if self.faults is not None:
+            self._maybe_poison_buffer()
 
         # Cross into the PL domain (synchroniser + edge alignment).
         yield self.sim.timeout(
@@ -65,7 +70,12 @@ class Trapper:
             stall_start = self.sim.now
             self.stats.bump("buffer_misses")
             emit(self.sim, "trapper", "buffer_miss", line=line_idx)
-            yield self.monitor.wait_line(line_idx)
+            wake = yield self.monitor.wait_line(line_idx)
+            if isinstance(wake, FaultError):
+                # The engine declared the fetch session unrecoverable; the
+                # exception travels up the CPU's load chain from here.
+                self.stats.bump("fault_aborts")
+                raise wake
             self.stats.observe("stall_ns", self.sim.now - stall_start)
             emit_span(self.sim, "trapper", "stall", stall_start, line=line_idx)
             if not self.monitor.line_ready(line_idx):
@@ -96,7 +106,29 @@ class Trapper:
         self.stats.observe("latency_ns", self.sim.now - arrival)
         emit_span(self.sim, "trapper", "trap_read", arrival,
                   line=line_idx, outcome="hit" if hit else "filled")
+        if (self.faults is not None and self.faults.recovery.crc_checks
+                and not self.buffer.parity_ok(line_idx)):
+            # BRAM parity caught an upset in the stored line. The packed
+            # data is regenerable but the base table is authoritative, so
+            # escalate and let the query layer degrade to a row scan.
+            self.stats.bump("parity_aborts")
+            raise BufferIntegrityError(
+                f"reorganization-buffer line {line_idx} failed parity"
+            )
         return self.buffer.read_line(line_idx)
+
+    def _maybe_poison_buffer(self) -> None:
+        """Fire an armed ``buffer_poison`` event against a resident line."""
+        event = self.faults.draw("buffer_poison", self.sim.now)
+        if event is None or not self.buffer.n_lines:
+            return
+        rng = self.faults.rng
+        ready = [i for i in range(self.buffer.n_lines)
+                 if self.buffer.line_ready(i)]
+        victim = ready[rng.randrange(len(ready))] if ready else (
+            rng.randrange(self.buffer.n_lines)
+        )
+        self.buffer.poison(victim, rng)
 
     @property
     def hit_rate(self) -> float:

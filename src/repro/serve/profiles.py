@@ -57,6 +57,7 @@ class QueryProfile:
     cold_ns: float  #: demand fill + scan, engine freshly switched here
     hot_ns: float  #: scan against the warm reorganization buffer
     value: Any  #: the executor's answer (cold and hot agree by assertion)
+    direct_ns: float = 0.0  #: CPU row-scan cost (the degraded-mode path)
 
     @property
     def fill_ns(self) -> float:
@@ -185,6 +186,7 @@ def profile_workload(
                 cold_ns=cold.elapsed_ns,
                 hot_ns=hot.elapsed_ns,
                 value=cold.value,
+                direct_ns=direct.elapsed_ns,
             )
     return WorkloadProfile(
         platform=platform,

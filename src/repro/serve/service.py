@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..config import PlatformConfig, ZCU102
 from ..errors import ConfigurationError
+from ..faults import DEFAULT_RECOVERY, CircuitBreaker, RecoveryPolicy
 from ..rme.designs import MLP, DesignParams
 from ..sim import Event, MetricsRegistry, Simulator
 from .profiles import WorkloadProfile, profile_workload
@@ -62,10 +63,17 @@ class TenantSLO:
     p99_ns: float
     mean_ns: float
     throughput_qps: float
+    degraded: int = 0  #: served via the CPU fallback path
+    failed: int = 0  #: unanswered under faults (recovery off)
 
     @property
     def shed_rate(self) -> float:
         return self.shed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of arrivals that received an answer."""
+        return self.served / self.arrivals if self.arrivals else 0.0
 
 
 @dataclass
@@ -92,10 +100,27 @@ class ServingReport:
     tenants: List[TenantSLO]
     metrics: MetricsRegistry = field(repr=False)
     records: List[Request] = field(repr=False, default_factory=list)
+    # Fault-aware fields (all zero on a fault-free run).
+    fault_rate: float = 0.0
+    fault_events: int = 0
+    degraded: int = 0
+    failed: int = 0
+    breaker_opens: int = 0
+    retries_total: int = 0
 
     @property
     def shed_rate(self) -> float:
         return self.shed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of arrivals answered (shed and failed count against)."""
+        return self.served / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Fraction of served answers that came from the CPU fallback."""
+        return self.degraded / self.served if self.served else 0.0
 
     @property
     def throughput_qps(self) -> float:
@@ -120,7 +145,7 @@ class ServingReport:
         Two runs with the same seed must produce bit-identical
         fingerprints — the serving-layer determinism contract.
         """
-        return (
+        base = (
             self.duration_ns,
             self.arrivals,
             self.served,
@@ -138,6 +163,17 @@ class ServingReport:
             ),
             sum(r.finish_ns for r in self.records),
         )
+        if self.fault_rate == 0.0:
+            # Bit-identical to the pre-fault-subsystem fingerprint.
+            return base
+        return base + (
+            self.fault_rate,
+            self.fault_events,
+            self.degraded,
+            self.failed,
+            self.breaker_opens,
+            self.retries_total,
+        )
 
 
 class ServingSystem:
@@ -152,7 +188,14 @@ class ServingSystem:
         quantum: int = 8,
         platform: PlatformConfig = ZCU102,
         design: DesignParams = MLP,
+        fault_rate: float = 0.0,
+        recovery: Optional[RecoveryPolicy] = None,
+        fault_seed: int = 1234,
     ):
+        if not 0.0 <= fault_rate < 1.0:
+            raise ConfigurationError(
+                f"fault_rate must be in [0, 1), got {fault_rate}"
+            )
         if policy not in POLICIES:
             raise ConfigurationError(
                 f"unknown scheduler policy {policy!r} "
@@ -177,6 +220,11 @@ class ServingSystem:
         self.n_ports = n_ports
         self.queue_depth = queue_depth
         self.quantum = quantum
+        #: Request-level fault model: probability any one RME execution
+        #: attempt is struck by a hardware fault mid-scan.
+        self.fault_rate = fault_rate
+        self.recovery = recovery if recovery is not None else DEFAULT_RECOVERY
+        self.fault_seed = fault_seed
         #: The last run's registry (also returned inside the report).
         self.metrics: Optional[MetricsRegistry] = None
 
@@ -201,6 +249,26 @@ class ServingSystem:
         self._arrivals_done = False
         self._wake: Optional[Event] = None
         self._completions: Dict[int, Event] = {}
+        self._arrivals_seen = 0
+        self._sheds_seen = 0
+        if self.fault_rate > 0.0:
+            self._fault_rng: Optional[random.Random] = random.Random(
+                self.fault_seed
+            )
+            self._fault_stats = metrics.scope("faults")
+            # Breakers are recovery machinery: a no-recovery baseline
+            # takes every fault on the chin instead of failing fast.
+            self._breakers = {
+                spec.name: CircuitBreaker(
+                    self.recovery.breaker_threshold,
+                    self.recovery.breaker_cooldown_ns,
+                )
+                for spec in self.profile.tenants
+            } if self.recovery.enabled else {}
+        else:
+            self._fault_rng = None
+            self._fault_stats = None
+            self._breakers = {}
 
         if isinstance(workload, OpenLoopWorkload):
             arrival_kind = workload.arrival
@@ -277,12 +345,25 @@ class ServingSystem:
         self.records.append(request)
         tstats = self._tenant_stats[request.tenant]
         tstats.bump("arrivals")
+        self._arrivals_seen += 1
         if not self.scheduler.admit(request):
             request.shed = True
             tstats.bump("shed")
+            self._sheds_seen += 1
+            self._publish_load_gauges()
             self._complete(request)
             return
+        self._publish_load_gauges()
         self._kick()
+
+    def _publish_load_gauges(self) -> None:
+        """Keep the load gauges current as the run progresses, so an
+        operator sampling the registry mid-run sees live shed-rate and
+        queue-depth instead of end-of-run aggregates."""
+        self._slo_stats.set_gauge("queue_depth", self.scheduler.backlog())
+        self._slo_stats.set_gauge(
+            "shed_rate", self._sheds_seen / self._arrivals_seen
+        )
 
     # -- service side ------------------------------------------------------------
     def _port_loop(self, port: Port):
@@ -293,6 +374,7 @@ class ServingSystem:
                     return
                 yield self._wake_event()
                 continue
+            self._publish_load_gauges()
             yield from self._execute(port, request)
 
     def _execute(self, port: Port, request: Request):
@@ -301,6 +383,9 @@ class ServingSystem:
         request.port = port.index
         request.start_ns = sim.now
         request.queue_ns = sim.now - request.arrival_ns
+        if self._fault_rng is not None:
+            yield from self._execute_faulty(port, request, profile)
+            return
         if port.descriptor != profile.descriptor:
             port.descriptor = profile.descriptor
             port.switches += 1
@@ -319,6 +404,100 @@ class ServingSystem:
         request.value = profile.value
         port.served += 1
         self._observe(request)
+        self._complete(request)
+        self._kick()
+
+    def _execute_faulty(self, port: Port, request: Request, profile):
+        """Service under the request-level fault model.
+
+        Each RME execution attempt is struck with probability
+        ``fault_rate``; a struck attempt's time is wasted and recovery
+        retries pay a refill plus backoff. A tenant whose circuit breaker
+        is open skips the engine entirely and goes straight to the CPU
+        row-scan — answers stay byte-identical (the profiler asserted the
+        direct answer equals the RME answer), only the price changes.
+        """
+        sim = self.sim
+        policy = self.recovery
+        breaker = self._breakers.get(request.tenant)
+        if breaker is not None and not breaker.allow(sim.now):
+            self._fault_stats.bump("breaker_rejects")
+            if policy.cpu_fallback:
+                yield from self._serve_direct(port, request, profile)
+            else:
+                self._fail_request(request)
+            return
+        if port.descriptor != profile.descriptor:
+            port.descriptor = profile.descriptor
+            port.switches += 1
+            self._sched_stats.bump("context_switches")
+            request.state = "cold"
+            request.reconfig_ns = profile.program_ns + profile.fill_ns
+        else:
+            self._sched_stats.bump("hot_hits")
+            request.state = "hot"
+            request.reconfig_ns = 0.0
+        if request.reconfig_ns > 0:
+            yield sim.timeout(request.reconfig_ns)
+        attempt = 0
+        while True:
+            yield sim.timeout(profile.hot_ns)
+            request.exec_ns += profile.hot_ns
+            if self._fault_rng.random() >= self.fault_rate:
+                if breaker is not None:
+                    breaker.record_success(sim.now)
+                request.finish_ns = sim.now
+                request.value = profile.value
+                port.served += 1
+                self._observe(request)
+                self._complete(request)
+                self._kick()
+                return
+            # A fault struck this attempt mid-scan: the time is wasted.
+            self._fault_stats.bump("fault_events")
+            if breaker is not None:
+                breaker.record_failure(sim.now)
+            if policy.enabled and attempt < policy.max_retries:
+                attempt += 1
+                request.retries += 1
+                self._fault_stats.bump("retries")
+                # Back off, then regenerate the projection before rerunning.
+                yield sim.timeout(
+                    policy.retry_backoff_ns * attempt + profile.fill_ns
+                )
+                request.reconfig_ns += profile.fill_ns
+                continue
+            # Retry budget exhausted: the engine state is suspect, so the
+            # next request on this port re-programs from scratch.
+            port.descriptor = None
+            if policy.cpu_fallback:
+                yield from self._serve_direct(port, request, profile)
+            else:
+                self._fail_request(request)
+            return
+
+    def _serve_direct(self, port: Port, request: Request, profile):
+        """Degraded mode: answer from the base table with a CPU row-scan."""
+        request.state = "degraded"
+        request.degraded = True
+        self._fault_stats.bump("fallbacks")
+        yield self.sim.timeout(profile.direct_ns)
+        request.exec_ns += profile.direct_ns
+        request.finish_ns = self.sim.now
+        request.value = profile.value
+        port.served += 1
+        self._tenant_stats[request.tenant].bump("degraded")
+        self._observe(request)
+        self._complete(request)
+        self._kick()
+
+    def _fail_request(self, request: Request) -> None:
+        """Give up on a request: no answer, counted against availability."""
+        request.failed = True
+        request.state = "failed"
+        request.finish_ns = self.sim.now
+        self._tenant_stats[request.tenant].bump("failed")
+        self._fault_stats.bump("failed")
         self._complete(request)
         self._kick()
 
@@ -365,6 +544,8 @@ class ServingSystem:
                 p99_ns=latency.percentile(99),
                 mean_ns=latency.mean,
                 throughput_qps=served / seconds if seconds else 0.0,
+                degraded=stats.count("degraded"),
+                failed=stats.count("failed"),
             ))
         overall = self._slo_stats.histogram("latency_ns")
         backlog = self._sched_stats.gauge("backlog")
@@ -396,4 +577,16 @@ class ServingSystem:
             tenants=tenants,
             metrics=self.metrics,
             records=self.records,
+            fault_rate=self.fault_rate,
+            fault_events=(
+                self._fault_stats.count("fault_events")
+                if self._fault_stats is not None else 0
+            ),
+            degraded=sum(t.degraded for t in tenants),
+            failed=sum(t.failed for t in tenants),
+            breaker_opens=sum(b.opens for b in self._breakers.values()),
+            retries_total=(
+                self._fault_stats.count("retries")
+                if self._fault_stats is not None else 0
+            ),
         )

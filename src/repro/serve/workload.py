@@ -107,6 +107,9 @@ class Request:
     exec_ns: float = 0.0
     finish_ns: float = 0.0
     value: object = None
+    retries: int = 0  #: fault-recovery re-executions this request paid
+    degraded: bool = False  #: answered via the CPU row-scan fallback
+    failed: bool = False  #: no answer produced (faults, recovery off)
 
     @property
     def latency_ns(self) -> float:
