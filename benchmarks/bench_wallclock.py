@@ -1,0 +1,43 @@
+"""Wall-clock trajectory of the fast-forward replay layer.
+
+Unlike the figure benchmarks (which assert *simulated* nanoseconds and
+run the driver once), this one times *host* execution of representative
+workloads under both simulation modes and asserts the fast-forward
+contract end to end:
+
+* every scenario's simulated observables are bit-identical between the
+  cycle-level and fast-forwarded runs (``run_wallclock`` raises
+  otherwise);
+* the fig06 Q1 design sweep — the flagship cycle-level experiment — is
+  at least ``FIG06_MIN_SPEEDUP`` (3x) faster wall-clock with the fast
+  path on.
+
+The machine-readable report lands in ``BENCH_wallclock.json`` next to
+the working directory, same as ``python -m repro perf``. Set
+``REPRO_PERF_QUICK=1`` to run the small CI scales (equality still
+asserted, speedup floor waived — quick scales are too small for a
+stable ratio).
+"""
+
+import os
+import pathlib
+
+from repro.bench.wallclock import FIG06_MIN_SPEEDUP, run_wallclock
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+
+
+def bench_wallclock_fastforward(benchmark):
+    report = benchmark.pedantic(
+        run_wallclock, kwargs={"quick": QUICK}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    out = pathlib.Path("BENCH_wallclock.json")
+    out.write_text(report.to_json() + "\n")
+    print(f"wrote {out}")
+
+    for timing in report.scenarios:
+        assert timing.identical, f"{timing.name}: simulated results diverged"
+    if not QUICK:
+        assert report.scenario("fig06").speedup >= FIG06_MIN_SPEEDUP

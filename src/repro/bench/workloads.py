@@ -22,6 +22,19 @@ from ..storage.schema import listing1_schema, uniform_schema
 #: Value ranges per column width (signed, leaving headroom for SUMs).
 _RANGES = {1: 100, 2: 10_000, 4: 1_000_000, 8: 1_000_000_000}
 
+#: Packed-row cache of previously generated relations. The generators are
+#: deterministic in their parameters, so the packed bytes can be reused;
+#: :meth:`RowTable.from_raw` copies them, keeping each returned table
+#: independently mutable. Bounded FIFO — the sweeps use a handful of keys.
+_PACKED_CACHE: dict = {}
+_PACKED_CACHE_MAX = 64
+
+
+def _cache_put(key, raw: bytes) -> None:
+    if len(_PACKED_CACHE) >= _PACKED_CACHE_MAX:
+        _PACKED_CACHE.pop(next(iter(_PACKED_CACHE)))
+    _PACKED_CACHE[key] = raw
+
 
 def make_relation(
     n_rows: int,
@@ -34,11 +47,16 @@ def make_relation(
     if n_rows <= 0 or n_cols <= 0:
         raise ConfigurationError("relation needs positive rows and columns")
     schema = uniform_schema(n_cols, col_width)
+    key = ("s", n_rows, n_cols, col_width, seed)
+    raw = _PACKED_CACHE.get(key)
+    if raw is not None:
+        return RowTable.from_raw(name, schema, raw)
     table = RowTable(name, schema)
     rng = random.Random(seed)
     bound = _RANGES.get(col_width, 1_000_000_000)
     for _ in range(n_rows):
         table.append([rng.randint(-bound, bound) for _ in range(n_cols)])
+    _cache_put(key, table.raw_bytes())
     return table
 
 
@@ -60,6 +78,10 @@ def make_relation_for_row_size(
 def make_listing1_table(n_rows: int, seed: int = 42) -> RowTable:
     """The 96-byte example table of the paper's Listing 1."""
     schema = listing1_schema()
+    key = ("listing1", n_rows, seed)
+    raw = _PACKED_CACHE.get(key)
+    if raw is not None:
+        return RowTable.from_raw("the_table", schema, raw)
     table = RowTable("the_table", schema)
     rng = random.Random(seed)
     for key in range(n_rows):
@@ -76,4 +98,5 @@ def make_listing1_table(n_rows: int, seed: int = 42) -> RowTable:
                 rng.randint(-1_000_000, 1_000_000),
             ]
         )
+    _cache_put(key, table.raw_bytes())
     return table

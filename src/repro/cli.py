@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the common workflows without writing Python:
+The subcommands cover the common workflows without writing Python:
 
 * ``figures`` — regenerate the paper's figures/tables (all or a subset);
 * ``query`` — run an ad-hoc SQL query over a generated benchmark relation
@@ -12,6 +12,9 @@ Seven subcommands cover the common workflows without writing Python:
   as Chrome trace-event JSON (Perfetto / ``chrome://tracing`` loadable);
 * ``stats`` — run a query and dump the telemetry registry (table, JSON
   or CSV): counters, gauges and latency percentiles per component;
+* ``perf`` — wall-clock benchmark of the fast-forward replay against
+  the cycle-level simulator, asserting bit-identical simulated results
+  and writing ``BENCH_wallclock.json``;
 * ``resources`` — print the Table-3 style FPGA estimate for a design;
 * ``info`` — dump the simulated platform configuration.
 
@@ -217,6 +220,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE",
                        help="override a platform parameter (repeatable)")
 
+    perf = commands.add_parser(
+        "perf",
+        help="wall-clock benchmark: fast-forward replay vs cycle-level",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="small scales for CI: cycle-equality is still "
+                           "asserted, the speedup floor is not")
+    perf.add_argument("--scenario", action="append", dest="scenarios",
+                      metavar="NAME",
+                      help="run a subset (fig01, fig06, serving); repeatable")
+    perf.add_argument("--min-speedup", type=float, default=None,
+                      help="fig06 acceptance floor (default 3.0; none with "
+                           "--quick)")
+    perf.add_argument("--output", default="BENCH_wallclock.json",
+                      help="JSON report path (default BENCH_wallclock.json; "
+                           "'-' to skip)")
+
     resources = commands.add_parser("resources", help="Table-3 style estimate")
     resources.add_argument("--design", default="MLP",
                            help="BSL, PCK or MLP (default MLP)")
@@ -405,6 +425,7 @@ def _platform_from_overrides(pairs: List[str]):
 
 def _cmd_serve(args, out) -> int:
     from .serve import (
+        PROFILE_CACHE,
         ClosedLoopWorkload,
         OpenLoopWorkload,
         ServingSystem,
@@ -441,6 +462,11 @@ def _cmd_serve(args, out) -> int:
         print(metrics_to_csv(report.metrics), file=out)
     else:
         print(render_slo_report(report), file=out)
+        cache = PROFILE_CACHE
+        print(
+            f"profile cache: {cache.hits} hits / {cache.misses} misses "
+            f"(hit rate {cache.hit_rate:.0%})", file=out,
+        )
     return 0
 
 
@@ -451,6 +477,7 @@ def _cmd_chaos(args, out) -> int:
     from .query.executor import QueryExecutor
     from .query.queries import q1, q2, q4
     from .serve import (
+        PROFILE_CACHE,
         OpenLoopWorkload,
         ServingSystem,
         default_tenants,
@@ -544,6 +571,32 @@ def _cmd_chaos(args, out) -> int:
         ["fault rate", "policy", "avail %", "p99 ns", "fallback %",
          "failed", "breaker opens"], rows_out,
     ), file=out)
+    print(
+        f"profile cache: {PROFILE_CACHE.hits} hits / "
+        f"{PROFILE_CACHE.misses} misses "
+        f"(hit rate {PROFILE_CACHE.hit_rate:.0%})", file=out,
+    )
+    return 0
+
+
+def _cmd_perf(args, out) -> int:
+    import pathlib
+
+    from .bench.wallclock import run_wallclock
+
+    mode = "quick" if args.quick else "full"
+    print(f"fast-forward wall-clock benchmark ({mode} mode):", file=out)
+    report = run_wallclock(
+        quick=args.quick,
+        scenarios=args.scenarios,
+        min_fig06_speedup=args.min_speedup,
+        progress=lambda line: print(f"  {line}", file=out),
+    )
+    print(report.render(), file=out)
+    if args.output != "-":
+        path = pathlib.Path(args.output)
+        path.write_text(report.to_json() + "\n")
+        print(f"wrote {path}", file=out)
     return 0
 
 
@@ -592,6 +645,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "perf": _cmd_perf,
         "resources": _cmd_resources,
         "info": _cmd_info,
     }[args.command]

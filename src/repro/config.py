@@ -184,6 +184,16 @@ class PlatformConfig:
     #: models it so the capacity cliff can be studied.
     window_reinit_ns: float = 15_000.0
 
+    # --- simulator acceleration -------------------------------------------
+    #: Opt-in to the fast-forward replay of homogeneous fetch epochs
+    #: (:mod:`repro.sim.fastpath`). Purely an accelerator: simulated
+    #: timestamps and statistics are bit-identical either way, and the
+    #: engine falls back to the cycle-level path whenever tracing, fault
+    #: plans, pushdown sinks or multi-run geometries are in play. Off by
+    #: default so existing experiments keep exercising the event-driven
+    #: pipeline.
+    fastpath: bool = False
+
     def validate(self) -> None:
         self.dram.validate()
         self.l1.validate()

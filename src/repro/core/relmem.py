@@ -184,6 +184,12 @@ class RelationalMemorySystem:
         """Attach a :class:`~repro.sim.Tracer` so components emit events
         and spans; returns it. Call before the accesses you want to see.
         Tracing never changes simulated timing — only bookkeeping runs."""
+        from ..sim.fastpath import TIMING_CACHE
+
+        # A tracer forces the cycle-level path (spans must be emitted), so
+        # signatures learned without one describe runs that can no longer
+        # happen; drop them rather than let the cache grow stale entries.
+        TIMING_CACHE.invalidate("tracer attached")
         tracer = Tracer(capacity=capacity)
         tracer.attach(self.sim)
         return tracer
@@ -200,7 +206,11 @@ class RelationalMemorySystem:
         subsystem at all.
         """
         from ..faults import DEFAULT_RECOVERY, FaultInjector
+        from ..sim.fastpath import TIMING_CACHE
 
+        # Armed faults perturb timing arbitrarily; memoized fault-free
+        # signatures are meaningless from here on.
+        TIMING_CACHE.invalidate("fault plan armed")
         injector = FaultInjector(
             plan, recovery if recovery is not None else DEFAULT_RECOVERY
         )

@@ -35,6 +35,17 @@ class Cache:
         self.last_victim_dirty = False
         # Each set is an OrderedDict {line_base: dirty}; LRU at the front.
         self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        # Lookup-path counters, pre-created once: every scanned element
+        # probes the L1, so lookup() must be straight-line field updates
+        # (StatSet.reset() mutates counters in place, so these references
+        # stay valid across experiment resets).
+        self._c_requests = self.stats.counter("requests")
+        self._c_requests_demand = self.stats.counter("requests_demand")
+        self._c_requests_prefetch = self.stats.counter("requests_prefetch")
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_misses_demand = self.stats.counter("misses_demand")
+        self._c_misses_prefetch = self.stats.counter("misses_prefetch")
 
     # -- address helpers -------------------------------------------------------
     def line_base(self, addr: int) -> int:
@@ -58,15 +69,24 @@ class Cache:
     def lookup(self, line_base: int, *, demand: bool = True) -> bool:
         """Probe for a line; updates LRU on hit. Counts requests/misses."""
         cache_set = self._set_for(line_base)
-        kind = "demand" if demand else "prefetch"
-        self.stats.bump("requests")
-        self.stats.bump("requests_" + kind)
+        counter = self._c_requests
+        counter.count += 1
+        counter.total += 1.0
+        counter = self._c_requests_demand if demand else self._c_requests_prefetch
+        counter.count += 1
+        counter.total += 1.0
         if line_base in cache_set:
             cache_set.move_to_end(line_base)
-            self.stats.bump("hits")
+            counter = self._c_hits
+            counter.count += 1
+            counter.total += 1.0
             return True
-        self.stats.bump("misses")
-        self.stats.bump("misses_" + kind)
+        counter = self._c_misses
+        counter.count += 1
+        counter.total += 1.0
+        counter = self._c_misses_demand if demand else self._c_misses_prefetch
+        counter.count += 1
+        counter.total += 1.0
         return False
 
     def contains(self, line_base: int) -> bool:

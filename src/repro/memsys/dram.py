@@ -61,6 +61,12 @@ class DRAM:
         self.stats = StatSet(name)
         self._banks: List[_Bank] = [_Bank() for _ in range(timings.n_banks)]
         self._bus_free_at: float = 0.0
+        #: Fast-forward safety tripwire: the replay commits the epoch's
+        #: whole reservation schedule at activation time on the premise
+        #: that no other traffic interleaves with it. Any access arriving
+        #: before this timestamp would have reordered against the
+        #: fast-forwarded requests — raise instead of diverging silently.
+        self.guard_until: float = 0.0
         #: Optional :class:`repro.faults.FaultInjector` (None = no faults;
         #: the check costs one attribute load, like disabled tracing).
         self.faults = None
@@ -85,6 +91,12 @@ class DRAM:
 
         ``source`` tags the statistics ("cpu", "prefetch", "rme", ...).
         """
+        if self.sim.now < self.guard_until:
+            raise SimulationError(
+                f"DRAM access from {source!r} at t={self.sim.now} during a "
+                f"fast-forwarded epoch (guarded until t={self.guard_until}); "
+                "the fast path's no-cross-traffic premise was violated"
+            )
         t = self.t
         bank_idx, row_id = self.locate(addr)
         bank = self._banks[bank_idx]
@@ -160,6 +172,12 @@ class DRAM:
         """Write ``nbytes`` at ``addr``; a process ending when the data is
         accepted. Same bank/row/bus dynamics as reads (write-back traffic
         from dirty evictions competes with everything else)."""
+        if self.sim.now < self.guard_until:
+            raise SimulationError(
+                f"DRAM write from {source!r} at t={self.sim.now} during a "
+                f"fast-forwarded epoch (guarded until t={self.guard_until}); "
+                "the fast path's no-cross-traffic premise was violated"
+            )
         t = self.t
         bank_idx, row_id = self.locate(addr)
         bank = self._banks[bank_idx]
@@ -207,3 +225,4 @@ class DRAM:
             bank.open_row = -1
             bank.ready_at = 0.0
         self._bus_free_at = 0.0
+        self.guard_until = 0.0

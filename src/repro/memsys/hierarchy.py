@@ -120,6 +120,11 @@ class MemoryHierarchy:
             shared_backends if shared_backends is not None else []
         )
         self._inflight: Dict[int, Event] = {}
+        # Fixed per-access latencies, pre-resolved: load_line runs once per
+        # scanned cache line and the platform config is frozen.
+        self._l1_hit_ns = platform.l1_hit_ns
+        self._l1_miss_issue_ns = platform.l1_miss_issue_ns
+        self._l2_hit_ns = platform.l2_hit_ns
 
     # -- routing ---------------------------------------------------------------
     def add_backend(self, region: Region, backend: LineBackend) -> None:
@@ -173,18 +178,19 @@ class MemoryHierarchy:
         background fills.
         """
         cfg = self.platform
+        sim = self.sim
         if demand:
             self._issue_prefetches(self.prefetcher.observe(line_base), line_base)
 
         if self.l1.lookup(line_base, demand=demand):
             if demand:
-                yield self.sim.timeout(cfg.l1_hit_ns)
+                yield sim.timeout(self._l1_hit_ns)
             return None
 
         if demand:
             # In-order miss handling: the core burns issue/replay slots for
             # every demand access that does not hit L1.
-            yield self.sim.timeout(cfg.l1_miss_issue_ns)
+            yield sim.timeout(self._l1_miss_issue_ns)
 
         while True:
             pending = self._inflight.get(line_base)

@@ -103,6 +103,11 @@ class RMEngine:
         self._n_windows = 1
         self._current_window = 0
         self._session: Optional[_FetchSession] = None
+        #: One-shot flag: the last configuration landed while fast-forwarded
+        #: lines were still becoming visible, so the committed DRAM/port
+        #: reservations describe traffic that never finished. The next
+        #: pipeline start must take the cycle-level path.
+        self._ff_interrupted = False
         # Pushdown state (selection commit stage / aggregation accumulator).
         self._pushdown = None
         self._pd_pending: dict = {}
@@ -160,6 +165,14 @@ class RMEngine:
                     f"got {type(pushdown).__name__}"
                 )
             pushdown.validate(config.col_width)
+        if self.monitor.fastforward_pending:
+            # Mid-scan reconfiguration under fast-forward: the epoch's
+            # reservations were committed wholesale, so the machine state no
+            # longer matches any cycle-level execution. Lift the DRAM guard
+            # (the old epoch's traffic is abandoned with the session) and
+            # force the next start onto the cycle-level path.
+            self._ff_interrupted = True
+            self.dram.guard_until = 0.0
         self._cancel_session()
         self._fault = None
         self._session_restarts = 0
@@ -251,6 +264,10 @@ class RMEngine:
         """
         if not self.configured or self._windowed:
             return False
+        # A fast-forwarded buffer is physically full before its lines are
+        # *visible*; it only counts as hot once the schedule has drained.
+        if not self.monitor.fastforward_drained:
+            return False
         return self.buffer.ready_lines == self.buffer.n_lines
 
     # -- fetch pipeline ------------------------------------------------------------
@@ -271,11 +288,71 @@ class RMEngine:
             else None
         )
 
+    def _fastpath_ineligible_reason(self) -> Optional[str]:
+        """Why the coming epoch cannot be fast-forwarded (None = it can).
+
+        Every condition here marks a way the epoch stops being the
+        homogeneous, isolated descriptor stream the analytical replay in
+        :mod:`repro.sim.fastpath` transcribes: observers that must see
+        individual events (tracer), perturbed timing (faults), per-row
+        control flow (pushdown sinks), window churn, variable burst
+        lengths, or state left behind by an interrupted fast-forward.
+        """
+        if self.sim.tracer is not None:
+            return "tracer"
+        if self.faults is not None:
+            return "faults"
+        if self._pushdown is not None:
+            return "pushdown"
+        if self._windowed:
+            return "windowed"
+        if type(self.geometry) is not TableGeometry:
+            return "multirun"
+        geometry = self.geometry
+        if geometry.row_count > 1 and geometry.row_size % geometry.bus_bytes:
+            # Rows not bus-aligned: the in-row offset drifts, so burst
+            # lengths differ between descriptors.
+            return "heterogeneous"
+        if self._ff_interrupted:
+            return "interrupted"
+        return None
+
+    def _start_fastforward(self) -> None:
+        """Launch the current epoch through the analytical fast path.
+
+        Mirrors :meth:`_start_current_window`'s observable effects — the
+        session object, a fresh Requestor (for its statistics surface),
+        ``pipeline_starts`` — but commits the whole epoch's timing in one
+        call instead of starting any processes.
+        """
+        from ..sim import fastpath
+
+        session = _FetchSession(w_bias=0)
+        self._session = session
+        dispatch = Store(self.sim, f"{self.name}-dispatch")
+        workers = self.design.outstanding_txns
+        self.requestor = Requestor(
+            self.sim, self.platform, dispatch, workers, f"{self.name}-requestor"
+        )
+        self.fetch_pool.result_sink = None
+        fastpath.fast_forward(self)
+        self.stats.bump("pipeline_starts")
+        self.stats.bump("fastpath_hits")
+        emit(self.sim, "rme", "pipeline_start", window=0, workers=workers)
+
     def _start_current_window(self) -> None:
         """Activation hook: launch the fetch pipeline for the current
         window (the whole projection when not windowed)."""
         if self.geometry is None:
             raise ConfigurationError("RME accessed before configuration")
+        if self.platform.fastpath:
+            reason = self._fastpath_ineligible_reason()
+            if reason is None:
+                self._start_fastforward()
+                return
+            self._ff_interrupted = False  # one-shot: consumed by this start
+            self.stats.bump("fastpath_fallbacks")
+            self.stats.bump("fastpath_fallback_" + reason)
         window = self._current_window
         session = _FetchSession(
             w_bias=window * self._window_bytes if self._windowed else 0

@@ -71,6 +71,20 @@ class FetchUnitPool:
         #: processes and must not raise toward the CPU themselves.
         self.on_unrecoverable = None
 
+    # -- fast-forward surface ------------------------------------------------------
+    @property
+    def issue_port_free_at(self) -> float:
+        """The issue-port reservation, exposed for the fast-forward replay
+        (:mod:`repro.sim.fastpath`) to read at epoch start and commit at
+        epoch end. The replay transcribes :meth:`_reserve_issue_port`'s
+        ``max(now, free_at)`` math exactly, so round-tripping this value
+        is equivalent to having run every worker."""
+        return self._issue_port_free_at
+
+    @issue_port_free_at.setter
+    def issue_port_free_at(self, value: float) -> None:
+        self._issue_port_free_at = value
+
     # -- timing helpers ------------------------------------------------------------
     def _reserve_issue_port(self) -> float:
         cost = self.platform.pl_cycles(self.platform.pl_dram_issue_cycles)

@@ -36,6 +36,14 @@ class MonitorBypass:
         #: the engine installs a callback that starts the Requestor.
         self.activation_hook: Optional[Callable[[], None]] = None
         self._activated = False
+        # Fast-forward visibility schedule (repro.sim.fastpath): the buffer
+        # is filled at activation time, but each packed line only *becomes*
+        # visible at the simulated instant its completing write would have
+        # retired. ``None`` means the monitor is in normal cycle-level mode.
+        self._ff_schedule: Optional[Dict[int, float]] = None
+        self._ff_end: float = 0.0
+        self._ff_armed: set = set()
+        self._ff_generation = 0
 
     # -- configuration lifecycle -------------------------------------------------
     def reconfigure(self) -> None:
@@ -46,6 +54,9 @@ class MonitorBypass:
         self._waiters.clear()
         self._write_port_free_at = 0.0
         self._activated = False
+        self._ff_schedule = None
+        self._ff_armed.clear()
+        self._ff_generation += 1
 
     def notice_access(self) -> None:
         """Called by the Trapper on every trapped request; first one after a
@@ -60,9 +71,46 @@ class MonitorBypass:
     def activated(self) -> bool:
         return self._activated
 
+    # -- fast-forward visibility ---------------------------------------------------
+    def install_fastforward(self, schedule: Dict[int, float], end: float) -> None:
+        """Gate line visibility behind per-line completion timestamps.
+
+        Called by :func:`repro.sim.fastpath.fast_forward` after it has
+        filled the reorganization buffer wholesale: ``schedule`` maps each
+        packed line to the instant its completing write retires in the
+        cycle-level execution, so Trapper-visible behaviour (ready checks,
+        stalls, wake times) stays identical even though the data already
+        physically sits in BRAM.
+        """
+        self._ff_schedule = schedule
+        self._ff_end = end
+        self._ff_armed.clear()
+        self._ff_generation += 1
+
+    @property
+    def fastforward_pending(self) -> bool:
+        """True while fast-forwarded lines are still becoming visible."""
+        return self._ff_schedule is not None and self.sim.now < self._ff_end
+
+    @property
+    def fastforward_drained(self) -> bool:
+        """True once every fast-forwarded line is visible (or no FF ran)."""
+        return self._ff_schedule is None or self.sim.now >= self._ff_end
+
+    def _ff_fire(self, token) -> None:
+        generation, line_idx = token
+        if generation != self._ff_generation:
+            return  # a reconfiguration superseded this schedule
+        for event in self._waiters.pop(line_idx, []):
+            event.succeed()
+
     # -- Trapper-facing side -------------------------------------------------------
     def line_ready(self, line_idx: int) -> bool:
         ready = self.buffer.line_ready(line_idx)
+        if ready and self._ff_schedule is not None:
+            completes_at = self._ff_schedule.get(line_idx)
+            if completes_at is not None and completes_at > self.sim.now:
+                ready = False  # physically present, not yet visible
         self.stats.bump("lookups_hit" if ready else "lookups_miss")
         return ready
 
@@ -70,7 +118,23 @@ class MonitorBypass:
         """An event firing when packed line ``line_idx`` completes."""
         event = self.sim.event()
         if self.buffer.line_ready(line_idx):
-            event.succeed()
+            completes_at = (
+                self._ff_schedule.get(line_idx)
+                if self._ff_schedule is not None
+                else None
+            )
+            if completes_at is None or completes_at <= self.sim.now:
+                event.succeed()
+                return event
+            # Visible only in the future: stall exactly like the cycle-level
+            # path and arm one wake at the recorded completion instant.
+            self._waiters.setdefault(line_idx, []).append(event)
+            self.stats.bump("stalled_requests")
+            if line_idx not in self._ff_armed:
+                self._ff_armed.add(line_idx)
+                self.sim.schedule_at(
+                    completes_at, self._ff_fire, (self._ff_generation, line_idx)
+                )
             return event
         self._waiters.setdefault(line_idx, []).append(event)
         self.stats.bump("stalled_requests")

@@ -80,6 +80,24 @@ class ReorganizationBuffer:
         return self._valid_bytes
 
     # -- data-side operations -------------------------------------------------------
+    def fill_fastforward(self, data: bytes) -> int:
+        """Install a whole epoch's projection in one store (fast path).
+
+        The fast-forward replay guarantees the epoch's descriptors tile
+        ``[0, valid_bytes)`` exactly, so the per-write overlap accounting
+        of :meth:`write` is redundant — every packed line fills straight
+        to its target. Returns the number of lines (all newly complete).
+        The caller replicates the per-write statistics.
+        """
+        if len(data) != self._valid_bytes:
+            raise SimulationError(
+                f"fast-forward fill of {len(data)} bytes does not cover "
+                f"the {self._valid_bytes}-byte projection"
+            )
+        self._data[: len(data)] = data
+        self._fill[:] = self._target
+        return len(self._fill)
+
     def write(self, offset: int, data: bytes) -> list:
         """Store extracted bytes; returns packed line indices newly complete."""
         if offset < 0 or offset + len(data) > self._valid_bytes:

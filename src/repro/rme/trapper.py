@@ -42,6 +42,10 @@ class Trapper:
         self.stats = StatSet(name)
         self.pl_clock = ClockDomain("pl", platform.pl_freq_mhz)
         self._response_port_free_at: float = 0.0
+        # Per-read constants, pre-resolved: read_line runs once per trapped
+        # cache line and the platform config is frozen.
+        self._cdc_sync_ns = self.pl_clock.cycles(platform.cdc_pl_cycles)
+        self._txn_overhead_ns = platform.pl_cycles(platform.pl_txn_overhead_cycles)
         #: Optional :class:`repro.faults.FaultInjector` (None = no faults).
         self.faults = None
 
@@ -56,10 +60,10 @@ class Trapper:
 
         # Cross into the PL domain (synchroniser + edge alignment).
         yield self.sim.timeout(
-            self.pl_clock.crossing_delay(self.sim.now, cfg.cdc_pl_cycles)
+            self.pl_clock.align_delay(self.sim.now) + self._cdc_sync_ns
         )
         # Trap + metadata lookup.
-        yield self.sim.timeout(cfg.pl_cycles(cfg.pl_txn_overhead_cycles))
+        yield self.sim.timeout(self._txn_overhead_ns)
 
         if self.monitor.line_ready(line_idx):
             hit = True

@@ -20,6 +20,9 @@ See ``docs/serving.md`` for the model and a worked example, and
 """
 
 from .profiles import (
+    PROFILE_CACHE,
+    PROFILE_CACHE_STATS,
+    ProfileCache,
     QueryProfile,
     WorkloadProfile,
     port_program_ns,
@@ -52,7 +55,10 @@ __all__ = [
     "MultiPortScheduler",
     "OpenLoopWorkload",
     "POLICIES",
+    "PROFILE_CACHE",
+    "PROFILE_CACHE_STATS",
     "Port",
+    "ProfileCache",
     "QueryProfile",
     "Request",
     "SchedulerPolicy",

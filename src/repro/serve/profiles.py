@@ -29,14 +29,16 @@ descriptor".
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import PlatformConfig, ZCU102
 from ..core.relmem import RelationalMemorySystem
 from ..errors import ConfigurationError
 from ..query.executor import QueryExecutor
 from ..rme.designs import MLP, DesignParams
+from ..sim.stats import StatSet
 from .workload import TenantSpec
 
 #: A descriptor identity: which geometry the configuration port holds.
@@ -111,6 +113,101 @@ class WorkloadProfile:
         return 1e9 / self.mean_cold_service_ns
 
 
+class ProfileCache:
+    """A bounded FIFO memo of :class:`WorkloadProfile` results.
+
+    Profiling a workload runs every (tenant, template) pair through the
+    cycle-level executor three times; for the serving CLI and the chaos
+    sweeps that cost dominates start-up. Keys are *content*
+    fingerprints — platform, design, buffer capacity, and per tenant the
+    CRC of the raw table bytes, the schema layout, and every template's
+    query text — so a stale hit would require a collision, not a missed
+    invalidation. Tenant weights are deliberately excluded: they shape
+    the arrival mix, not the measured service costs, so a cached result
+    is re-wrapped with the caller's tenants.
+
+    Hit/miss traffic is mirrored into :data:`PROFILE_CACHE_STATS`, whose
+    ``hit_rate`` gauge is the externally visible health signal (surfaced
+    by ``repro serve`` / ``repro chaos``).
+    """
+
+    def __init__(self, max_entries: int = 16):
+        self.max_entries = max_entries
+        self._entries: Dict[tuple, WorkloadProfile] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[WorkloadProfile]:
+        profile = self._entries.get(key)
+        if profile is None:
+            self.misses += 1
+            PROFILE_CACHE_STATS.bump("misses")
+        else:
+            self.hits += 1
+            PROFILE_CACHE_STATS.bump("hits")
+        PROFILE_CACHE_STATS.set_gauge("hit_rate", self.hit_rate)
+        return profile
+
+    def put(self, key: tuple, profile: WorkloadProfile) -> None:
+        if len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = profile
+
+    def invalidate(self, reason: str = "") -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+#: Shared counters plus the ``hit_rate`` gauge for the profile memo.
+PROFILE_CACHE_STATS = StatSet("profile_cache")
+
+#: The process-wide memo consulted by :func:`profile_workload`.
+PROFILE_CACHE = ProfileCache()
+
+
+def _tenant_fingerprint(spec: TenantSpec) -> tuple:
+    """Everything about a tenant that the measured costs depend on."""
+    table = spec.table
+    schema_sig = tuple(
+        (col.name, col.ctype.name, col.size) for col in table.schema.columns
+    )
+    template_sig = tuple(
+        (template, query.sql, tuple(query.columns()), query.passes)
+        for template, query in spec.templates
+    )
+    return (
+        spec.name,
+        zlib.crc32(table.raw_bytes()),
+        table.n_rows,
+        schema_sig,
+        template_sig,
+    )
+
+
+def _workload_key(
+    tenants: Sequence[TenantSpec],
+    platform: PlatformConfig,
+    design: DesignParams,
+    buffer_capacity: "int | None",
+) -> tuple:
+    return (
+        platform,
+        design,
+        buffer_capacity,
+        tuple(_tenant_fingerprint(t) for t in tenants),
+    )
+
+
 def port_program_ns(platform: PlatformConfig, config) -> float:
     """Time to program the configuration port for ``config``.
 
@@ -130,9 +227,25 @@ def profile_workload(
     design: DesignParams = MLP,
     buffer_capacity: int = None,
 ) -> WorkloadProfile:
-    """Measure every (tenant, template) pair on one shared platform."""
+    """Measure every (tenant, template) pair on one shared platform.
+
+    Results are memoized in :data:`PROFILE_CACHE` under a content
+    fingerprint of every input; a repeated call with identical tables,
+    templates and platform returns the stored measurements without
+    touching the simulator. The returned profile always carries the
+    *caller's* tenant specs so weight changes take effect immediately.
+    """
     if not tenants:
         raise ConfigurationError("profiling needs at least one tenant")
+    key = _workload_key(tenants, platform, design, buffer_capacity)
+    cached = PROFILE_CACHE.get(key)
+    if cached is not None:
+        return WorkloadProfile(
+            platform=platform,
+            design_name=design.name,
+            tenants=tuple(tenants),
+            profiles=cached.profiles,
+        )
     kwargs = {}
     if buffer_capacity is not None:
         kwargs["buffer_capacity"] = buffer_capacity
@@ -188,9 +301,11 @@ def profile_workload(
                 value=cold.value,
                 direct_ns=direct.elapsed_ns,
             )
-    return WorkloadProfile(
+    result = WorkloadProfile(
         platform=platform,
         design_name=design.name,
         tenants=tuple(tenants),
         profiles=profiles,
     )
+    PROFILE_CACHE.put(key, result)
+    return result

@@ -37,7 +37,7 @@ from ..errors import ConfigurationError
 from ..faults import DEFAULT_RECOVERY, CircuitBreaker, RecoveryPolicy
 from ..rme.designs import MLP, DesignParams
 from ..sim import Event, MetricsRegistry, Simulator
-from .profiles import WorkloadProfile, profile_workload
+from .profiles import PROFILE_CACHE, WorkloadProfile, profile_workload
 from .scheduler import POLICIES, Port, SchedulerPolicy, make_scheduler
 from .workload import (
     Arrival,
@@ -236,6 +236,12 @@ class ServingSystem:
         metrics = self.metrics = MetricsRegistry("serve")
         self._sched_stats = metrics.scope("scheduler")
         self._slo_stats = metrics.scope("slo")
+        # The profile memo is process-wide; snapshot its health here so
+        # the hit-rate gauge ships with every serving report.
+        cache_stats = metrics.scope("profile_cache")
+        cache_stats.set_gauge("hits", float(PROFILE_CACHE.hits))
+        cache_stats.set_gauge("misses", float(PROFILE_CACHE.misses))
+        cache_stats.set_gauge("hit_rate", PROFILE_CACHE.hit_rate)
         self._tenant_stats = {
             spec.name: metrics.scope(f"tenant.{spec.name}")
             for spec in self.profile.tenants

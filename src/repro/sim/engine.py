@@ -12,17 +12,46 @@ Yieldable objects:
 * :class:`Event` — resume when someone calls :meth:`Event.succeed`.
 * :class:`Process` — resume when another process finishes; the value sent
   back is that process's return value.
+
+Scheduling internals: callbacks with a positive delay go through a binary
+heap ordered by ``(time, seq)``; *immediate* callbacks (``delay == 0`` —
+event-succeed cascades, store/resource hand-offs, zero-delay timeouts) are
+coalesced into a FIFO deque instead, since they all fire at the current
+timestamp anyway. The deque is drained in global ``seq`` order relative to
+same-time heap entries, so the execution order is exactly the one a pure
+heap would produce — it just skips the O(log n) heap churn for the most
+common scheduling pattern in the simulator.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
 #: Sentinel for "the event has not fired yet".
 _PENDING = object()
+
+_INF = float("inf")
+
+
+def _check_delay(delay: float) -> None:
+    """Reject negative and non-finite delays with a precise message.
+
+    ``delay < 0`` alone lets ``float('nan')`` through (every comparison
+    with NaN is false), and a NaN timestamp corrupts the heap's ordering
+    invariant silently; ``inf`` would park a callback at a time that can
+    never be reached. Both are always caller bugs.
+    """
+    if not (0.0 <= delay < _INF):
+        if delay != delay or delay == _INF or delay == -_INF:
+            raise SimulationError(
+                f"cannot schedule a non-finite delay ({delay!r}); NaN/inf "
+                "timestamps would corrupt the event-queue ordering"
+            )
+        raise SimulationError(f"cannot schedule into the past (delay={delay})")
 
 
 class Event:
@@ -54,7 +83,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Fire the event, waking every waiter at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event succeeded twice")
         self._value = value
         callbacks, self._callbacks = self._callbacks, None
@@ -64,7 +93,7 @@ class Event:
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Run ``callback(value)`` when the event fires (immediately if fired)."""
-        if self.triggered:
+        if self._value is not _PENDING:
             self.sim.schedule(0.0, callback, self._value)
         else:
             self._callbacks.append(callback)
@@ -76,8 +105,8 @@ class Timeout:
     __slots__ = ("delay", "value")
 
     def __init__(self, delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout: {delay}")
+        if not (0.0 <= delay < _INF):
+            _check_delay(delay)
         self.delay = delay
         self.value = value
 
@@ -103,10 +132,12 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        if isinstance(target, Timeout):
+        if type(target) is Timeout:
             self.sim.schedule(target.delay, self._resume, target.value)
         elif isinstance(target, Event):
             target.add_callback(self._resume)
+        elif isinstance(target, Timeout):  # a Timeout subclass
+            self.sim.schedule(target.delay, self._resume, target.value)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; expected Timeout, "
@@ -130,9 +161,13 @@ class Simulator:
         assert sim.now == 5.0 and proc.value == "done"
     """
 
+    __slots__ = ("now", "_queue", "_immediate", "_seq", "tracer")
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Callable, Any]] = []
+        #: Same-time FIFO: (seq, callback, arg) entries due at ``now``.
+        self._immediate: deque = deque()
         self._seq = 0  #: tie-breaker to keep same-time events FIFO
         #: Optional event log; attach a :class:`repro.sim.trace.Tracer`.
         self.tracer = None
@@ -140,10 +175,35 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
     def schedule(self, delay: float, callback: Callable, arg: Any = None) -> None:
         """Run ``callback(arg)`` after ``delay`` ns of simulated time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not (0.0 <= delay < _INF):
+            _check_delay(delay)
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, arg))
+        if delay == 0.0:
+            self._immediate.append((self._seq, callback, arg))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, callback, arg))
+
+    def schedule_at(self, time: float, callback: Callable, arg: Any = None) -> None:
+        """Run ``callback(arg)`` at the absolute timestamp ``time``.
+
+        Unlike ``schedule(time - now, ...)``, this lands on ``time``
+        *bit-exactly*: float addition is not associative, so
+        ``now + (time - now)`` can differ from ``time`` in the last ulp —
+        a difference the fast-forward replay is not allowed to introduce.
+        """
+        if not (self.now <= time < _INF):
+            if time != time or time == _INF or time == -_INF:
+                raise SimulationError(
+                    f"cannot schedule at a non-finite time ({time!r})"
+                )
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        self._seq += 1
+        if time == self.now:
+            self._immediate.append((self._seq, callback, arg))
+        else:
+            heapq.heappush(self._queue, (time, self._seq, callback, arg))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """A yieldable delay of ``delay`` nanoseconds."""
@@ -187,9 +247,24 @@ class Simulator:
     # -- execution ----------------------------------------------------------
     def step(self) -> bool:
         """Run the earliest scheduled callback. Returns False when idle."""
-        if not self._queue:
+        immediate = self._immediate
+        queue = self._queue
+        if immediate:
+            # A same-time heap entry scheduled *earlier* (smaller seq) than
+            # the oldest immediate callback must still run first.
+            if queue:
+                head = queue[0]
+                if head[0] <= self.now and head[1] < immediate[0][0]:
+                    time, _seq, callback, arg = heapq.heappop(queue)
+                    self.now = time
+                    callback(arg)
+                    return True
+            _seq, callback, arg = immediate.popleft()
+            callback(arg)
+            return True
+        if not queue:
             return False
-        time, _seq, callback, arg = heapq.heappop(self._queue)
+        time, _seq, callback, arg = heapq.heappop(queue)
         if time < self.now:
             raise SimulationError("event queue went backwards in time")
         self.now = time
@@ -202,12 +277,33 @@ class Simulator:
         ``max_events`` guards against accidental infinite event loops in
         component models; hitting it raises :class:`SimulationError`.
         """
+        # Local bindings: this loop dispatches every event in a simulation,
+        # so attribute lookups here are the hottest loads in the library.
         executed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self.now = until
-                return self.now
-            self.step()
+        queue = self._queue
+        immediate = self._immediate
+        heappop = heapq.heappop
+        while queue or immediate:
+            if immediate:
+                head = queue[0] if queue else None
+                if (head is not None and head[0] <= self.now
+                        and head[1] < immediate[0][0]):
+                    time, _seq, callback, arg = heappop(queue)
+                    self.now = time
+                    callback(arg)
+                else:
+                    _seq, callback, arg = immediate.popleft()
+                    callback(arg)
+            else:
+                head = queue[0]
+                if until is not None and head[0] > until:
+                    self.now = until
+                    return self.now
+                time, _seq, callback, arg = heappop(queue)
+                if time < self.now:
+                    raise SimulationError("event queue went backwards in time")
+                self.now = time
+                callback(arg)
             executed += 1
             if executed > max_events:
                 raise SimulationError(
@@ -218,4 +314,4 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of callbacks still queued."""
-        return len(self._queue)
+        return len(self._queue) + len(self._immediate)

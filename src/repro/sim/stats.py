@@ -132,6 +132,34 @@ class Histogram:
         key = (exponent, min(sub, self.subbuckets - 1))
         self._buckets[key] = self._buckets.get(key, 0) + 1
 
+    def observe_run(self, value: float, n: int) -> None:
+        """Record ``value`` ``n`` times, bit-identically to ``n`` calls of
+        :meth:`observe`.
+
+        The bucket index, min/max and underflow test are computed once;
+        only the ``total`` accumulation stays a sequential loop, because
+        ``total + n*value`` is not the same float as ``n`` repeated adds
+        and replayed statistics must match the event-driven ones exactly.
+        """
+        if n <= 0:
+            return
+        self.count += n
+        total = self.total
+        for _ in range(n):
+            total += value
+        self.total = total
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0:
+            self._underflow += n
+            return
+        mantissa, exponent = math.frexp(value)
+        sub = int((mantissa - 0.5) * 2 * self.subbuckets)
+        key = (exponent, min(sub, self.subbuckets - 1))
+        self._buckets[key] = self._buckets.get(key, 0) + n
+
     def _bucket_upper(self, key: Tuple[int, int]) -> float:
         exponent, sub = key
         return math.ldexp(0.5 + (sub + 1) / (2 * self.subbuckets), exponent)
@@ -202,8 +230,17 @@ class StatSet:
         return counter
 
     def bump(self, name: str, value: float = 1.0) -> None:
-        """Shorthand for ``stat.counter(name).add(value)``."""
-        self.counter(name).add(value)
+        """Shorthand for ``stat.counter(name).add(value)``.
+
+        Inlined (dict probe + field updates) rather than delegating: this
+        is the hottest call in cycle-level runs, fired once per cache
+        probe, DRAM command and scheduler hand-off.
+        """
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        counter.count += 1
+        counter.total += value
 
     def count(self, name: str) -> int:
         """Current count of ``name`` (0 if never bumped)."""
@@ -232,7 +269,10 @@ class StatSet:
 
     def observe(self, name: str, value: float) -> None:
         """Shorthand for ``stat.histogram(name).observe(value)``."""
-        self.histogram(name).observe(value)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        histogram.observe(value)
 
     def percentile(self, name: str, p: float) -> float:
         """Percentile of histogram ``name`` (0.0 if never observed)."""

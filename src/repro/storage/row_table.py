@@ -25,6 +25,24 @@ class RowTable:
         self.schema = schema
         self._data = bytearray()
 
+    @classmethod
+    def from_raw(cls, name: str, schema: Schema, raw: bytes) -> "RowTable":
+        """Rehydrate a table from previously packed rows.
+
+        The workload generators cache the packed bytes of expensive random
+        relations; rebuilding from the cache is a single copy instead of a
+        per-cell pack. The copy keeps the returned table independently
+        mutable.
+        """
+        if len(raw) % schema.row_size:
+            raise SchemaError(
+                f"raw size {len(raw)} is not a whole number of "
+                f"{schema.row_size}-byte rows"
+            )
+        table = cls(name, schema)
+        table._data = bytearray(raw)
+        return table
+
     # -- shape -------------------------------------------------------------------
     @property
     def row_size(self) -> int:
@@ -103,9 +121,25 @@ class RowTable:
         return bytes(out)
 
     def project_values(self, columns: Sequence[str]) -> List[Tuple[Any, ...]]:
-        """Row-ordered tuples of the requested columns (any order)."""
-        indices = [self.schema.index_of(c) for c in columns]
-        return [tuple(row[i] for i in indices) for row in self.scan()]
+        """Row-ordered tuples of the requested columns (any order).
+
+        Decodes only the requested columns, straight out of the packed
+        buffer — a narrow projection over a wide schema does not pay for
+        the columns it skips.
+        """
+        extractors = self.schema.column_extractors(columns)
+        data = self._data
+        row_size = self.row_size
+        if len(extractors) == 1:
+            extract = extractors[0]
+            return [
+                (extract(data, base),)
+                for base in range(0, self.n_rows * row_size, row_size)
+            ]
+        return [
+            tuple(extract(data, base) for extract in extractors)
+            for base in range(0, self.n_rows * row_size, row_size)
+        ]
 
     # -- raw access for the simulator -------------------------------------------------
     def raw_bytes(self) -> bytes:

@@ -111,6 +111,71 @@ class Column:
         return self.ctype.size
 
 
+class _RowCodec:
+    """A precompiled decoder for one schema's packed-row layout.
+
+    Decoding through :meth:`ColumnType.unpack` pays a method call, a
+    length check and a format dispatch per column per row; scans decode
+    millions of columns, so the codec resolves all of that once. When
+    every column has a :mod:`struct` format (CHAR(n) folds into ``ns``),
+    the whole row decodes with a single :class:`struct.Struct`; otherwise
+    a precomputed (offset, size, unpacker) step list is walked — only the
+    arbitrary-width ``RAW_INT_FMT`` columns need the ``int.from_bytes``
+    path.
+    """
+
+    __slots__ = ("row_size", "_whole", "_steps")
+
+    #: Step markers for the non-foldable path.
+    _RAW_INT = None  # int.from_bytes
+    _RAW_BYTES = False  # plain slice
+
+    def __init__(self, columns: Sequence[Column], row_size: int):
+        self.row_size = row_size
+        parts: List[str] = []
+        foldable = True
+        for col in columns:
+            fmt = col.ctype.fmt
+            if fmt == RAW_INT_FMT:
+                foldable = False
+                break
+            parts.append(fmt if fmt else f"{col.ctype.size}s")
+        if foldable:
+            self._whole = struct.Struct("<" + "".join(parts))
+            self._steps = None
+        else:
+            self._whole = None
+            steps = []
+            offset = 0
+            for col in columns:
+                ctype = col.ctype
+                if ctype.fmt == RAW_INT_FMT:
+                    steps.append((offset, ctype.size, self._RAW_INT))
+                elif ctype.fmt:
+                    steps.append(
+                        (offset, ctype.size, struct.Struct("<" + ctype.fmt).unpack_from)
+                    )
+                else:
+                    steps.append((offset, ctype.size, self._RAW_BYTES))
+                offset += ctype.size
+            self._steps = steps
+
+    def unpack(self, data: bytes) -> Tuple[Any, ...]:
+        if self._whole is not None:
+            return self._whole.unpack(data)
+        values = []
+        append = values.append
+        from_bytes = int.from_bytes
+        for offset, size, unpacker in self._steps:
+            if unpacker is None:
+                append(from_bytes(data[offset : offset + size], "little", signed=True))
+            elif unpacker is False:
+                append(data[offset : offset + size])
+            else:
+                append(unpacker(data, offset)[0])
+        return tuple(values)
+
+
 class Schema:
     """An ordered, offset-resolved set of columns."""
 
@@ -127,6 +192,7 @@ class Schema:
             self._offsets[column.name] = offset
             offset += column.size
         self.row_size = offset
+        self._codec: "_RowCodec | None" = None  # compiled lazily
 
     # -- lookups ---------------------------------------------------------------
     def __contains__(self, name: str) -> bool:
@@ -256,17 +322,46 @@ class Schema:
             col.ctype.pack(value) for col, value in zip(self.columns, values)
         )
 
+    @property
+    def codec(self) -> _RowCodec:
+        """The compiled row decoder (built on first use)."""
+        codec = self._codec
+        if codec is None:
+            codec = self._codec = _RowCodec(self.columns, self.row_size)
+        return codec
+
     def unpack_row(self, data: bytes) -> Tuple[Any, ...]:
         if len(data) != self.row_size:
             raise SchemaError(
                 f"row of {len(data)} bytes does not match row size {self.row_size}"
             )
-        values = []
-        offset = 0
-        for col in self.columns:
-            values.append(col.ctype.unpack(data[offset : offset + col.size]))
-            offset += col.size
-        return tuple(values)
+        return self.codec.unpack(data)
+
+    def column_extractors(self, names: Sequence[str]):
+        """Per-column decoders ``fn(buffer, row_base) -> value``.
+
+        Each function reads one column straight out of a packed-table
+        buffer at ``row_base + column_offset``, letting projections skip
+        decoding the columns they do not need.
+        """
+        functions = []
+        for name in names:
+            ctype = self.column(name).ctype
+            offset = self._offsets[name]
+            if ctype.fmt == RAW_INT_FMT:
+                def extract(buf, base, _o=offset, _s=ctype.size):
+                    return int.from_bytes(
+                        buf[base + _o : base + _o + _s], "little", signed=True
+                    )
+            elif ctype.fmt:
+                unpack_from = struct.Struct("<" + ctype.fmt).unpack_from
+                def extract(buf, base, _o=offset, _u=unpack_from):
+                    return _u(buf, base + _o)[0]
+            else:
+                def extract(buf, base, _o=offset, _s=ctype.size):
+                    return bytes(buf[base + _o : base + _o + _s])
+            functions.append(extract)
+        return functions
 
     def unpack_column(self, name: str, row_data: bytes) -> Any:
         col = self.column(name)

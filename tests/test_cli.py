@@ -269,3 +269,39 @@ def test_stats_bsl_design():
         "stats", "SELECT SUM(A1) FROM S", "--rows", "64", "--design", "bsl"
     )
     assert code == 0 and "BSL cold" in text
+
+
+def test_perf_quick_writes_report(tmp_path):
+    import json
+
+    out_path = tmp_path / "BENCH_wallclock.json"
+    code, text = run_cli(
+        "perf", "--quick", "--scenario", "fig06", "--output", str(out_path)
+    )
+    assert code == 0
+    assert "quick mode" in text and "identical" in text
+    assert f"wrote {out_path}" in text
+    data = json.loads(out_path.read_text())
+    assert data["mode"] == "quick"
+    (scenario,) = data["scenarios"]
+    assert scenario["name"] == "fig06"
+    assert scenario["identical"] is True
+    assert scenario["fastpath_hits"] > 0
+
+
+def test_perf_unknown_scenario_is_an_error():
+    code, text = run_cli("perf", "--quick", "--scenario", "fig99",
+                         "--output", "-")
+    assert code == 1
+    assert "unknown wallclock scenarios" in text
+
+
+def test_perf_speedup_floor_enforced(tmp_path):
+    # An absurd floor must fail the run (exit 1), proving the acceptance
+    # gate is live without depending on host speed.
+    code, text = run_cli(
+        "perf", "--quick", "--scenario", "fig06", "--min-speedup", "1000",
+        "--output", "-",
+    )
+    assert code == 1
+    assert "below the" in text and "acceptance floor" in text

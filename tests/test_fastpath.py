@@ -1,0 +1,224 @@
+"""Fast-forward replay tests: bit-identity, fallback triggers, memo cache.
+
+The fast path (``repro.sim.fastpath``) must be *invisible* in every
+simulated observable — elapsed nanoseconds, query answers, statistics —
+and must refuse to engage whenever the epoch is not the homogeneous,
+isolated descriptor stream it transcribes. These tests pin both halves:
+cycle-level and fast-forwarded runs are compared bit-for-bit, and every
+fallback trigger is exercised and asserted via the engine's
+``fastpath_fallback_<reason>`` counters.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import QueryExecutor, RelationalMemorySystem
+from repro.bench.runner import ExperimentRunner
+from repro.config import ZCU102
+from repro.faults import FaultPlan
+from repro.query.queries import q1, q2, q4
+from repro.rme.designs import BSL, MLP, PCK
+from repro.sim.fastpath import TIMING_CACHE
+from tests.conftest import build_relation
+
+FASTPATH = dataclasses.replace(ZCU102, fastpath=True)
+
+
+def _run(platform, query=None, n_rows=512, design=MLP, hot=False,
+         columns=None, var_kwargs=None, **system_kwargs):
+    """One RME measurement; returns (result, system)."""
+    query = query or q1("A1")
+    table = build_relation(n_rows=n_rows)
+    system = RelationalMemorySystem(platform, design, **system_kwargs)
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, columns or list(query.columns()),
+                              **(var_kwargs or {}))
+    if hot:
+        system.warm_up(var)
+        system.flush_caches()
+    result = QueryExecutor(system).run_rme(query, var)
+    return result, system
+
+
+# -- bit-identity -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("design", [BSL, PCK, MLP])
+@pytest.mark.parametrize("hot", [False, True])
+def test_fastpath_bit_identical_timing_and_answer(design, hot):
+    slow, _ = _run(ZCU102, design=design, hot=hot)
+    fast, system = _run(FASTPATH, design=design, hot=hot)
+    assert system.rme.stats.count("fastpath_hits") >= 1
+    assert fast.elapsed_ns == slow.elapsed_ns
+    assert fast.value == slow.value
+    assert fast.selectivity == slow.selectivity
+
+
+@pytest.mark.parametrize("query", [q2("A1", "A2"), q4("A1")])
+def test_fastpath_bit_identical_other_queries(query):
+    slow, _ = _run(ZCU102, query=query)
+    fast, _ = _run(FASTPATH, query=query)
+    assert fast.elapsed_ns == slow.elapsed_ns
+    assert fast.value == slow.value
+
+
+def test_fastpath_replicates_statistics_exactly():
+    _, slow_sys = _run(ZCU102)
+    _, fast_sys = _run(FASTPATH)
+    for attr in ("dram", "rme"):
+        slow_stats = getattr(slow_sys, attr).stats
+        fast_stats = getattr(fast_sys, attr).stats
+        for name, counter in slow_stats:
+            if name.startswith("fastpath"):
+                continue
+            other = fast_stats.counter(name)
+            assert (other.count, other.total) == (counter.count, counter.total), name
+    for name in ("row_hits", "row_empty", "row_misses", "beats"):
+        assert fast_sys.dram.stats.count(name) == slow_sys.dram.stats.count(name)
+    slow_hist = slow_sys.dram.stats.histogram("service_latency_ns")
+    fast_hist = fast_sys.dram.stats.histogram("service_latency_ns")
+    assert (fast_hist.count, fast_hist.total, fast_hist.min, fast_hist.max) == (
+        slow_hist.count, slow_hist.total, slow_hist.min, slow_hist.max)
+
+
+def test_fastpath_off_by_default():
+    _, system = _run(ZCU102)
+    assert system.rme.stats.count("fastpath_hits") == 0
+    assert system.rme.stats.count("fastpath_fallbacks") == 0
+
+
+# -- fallback triggers -------------------------------------------------------------
+
+
+def _assert_fell_back(system, reason):
+    stats = system.rme.stats
+    assert stats.count("fastpath_hits") == 0
+    assert stats.count("fastpath_fallbacks") >= 1
+    assert stats.count("fastpath_fallback_" + reason) >= 1
+
+
+def test_tracer_forces_cycle_level():
+    table = build_relation(n_rows=256)
+    system = RelationalMemorySystem(FASTPATH, MLP)
+    system.enable_tracing()
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, ["A1"])
+    result = QueryExecutor(system).run_rme(q1("A1"), var)
+    _assert_fell_back(system, "tracer")
+    slow, _ = _run(ZCU102, n_rows=256)
+    assert result.elapsed_ns == slow.elapsed_ns
+
+
+def test_armed_faults_force_cycle_level():
+    table = build_relation(n_rows=256)
+    system = RelationalMemorySystem(FASTPATH, MLP)
+    system.enable_faults(FaultPlan())
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, ["A1"])
+    QueryExecutor(system).run_rme(q1("A1"), var)
+    _assert_fell_back(system, "faults")
+
+
+def test_windowed_mode_forces_cycle_level():
+    kwargs = dict(n_rows=2048, buffer_capacity=2048,
+                  var_kwargs={"windowed": True})
+    result, system = _run(FASTPATH, **kwargs)
+    assert system.rme.n_windows > 1
+    _assert_fell_back(system, "windowed")
+    slow, _ = _run(ZCU102, **kwargs)
+    assert result.elapsed_ns == slow.elapsed_ns
+
+
+def test_multirun_geometry_forces_cycle_level():
+    query = q2("A1", "A3")  # non-contiguous columns -> multi-run geometry
+    kwargs = dict(columns=["A1", "A3"],
+                  var_kwargs={"allow_noncontiguous": True})
+    result, system = _run(FASTPATH, query=query, **kwargs)
+    _assert_fell_back(system, "multirun")
+    slow, _ = _run(ZCU102, query=query, **kwargs)
+    assert result.elapsed_ns == slow.elapsed_ns
+
+
+def test_unaligned_rows_force_cycle_level():
+    # 3 cols x 4 B = 12-byte rows: not a multiple of the 16-byte bus beat,
+    # so burst lengths drift between descriptors.
+    table = build_relation(n_rows=256, n_cols=3)
+    system = RelationalMemorySystem(FASTPATH, MLP)
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, ["A1"])
+    QueryExecutor(system).run_rme(q1("A1"), var)
+    _assert_fell_back(system, "heterogeneous")
+
+
+def test_pushdown_sink_forces_cycle_level():
+    table = build_relation(n_rows=256)
+    system = RelationalMemorySystem(FASTPATH, MLP)
+    loaded = system.load_table(table)
+    fvar = system.register_filtered_var(loaded, ["A1"], "A1", "<", 0)
+    system.warm_up(fvar)
+    _assert_fell_back(system, "pushdown")
+
+
+def test_midscan_reconfiguration_falls_back_once():
+    table = build_relation(n_rows=512)
+    system = RelationalMemorySystem(FASTPATH, MLP)
+    loaded = system.load_table(table)
+    system.register_var(loaded, ["A1"])
+    rme = system.rme
+    # Activate: the epoch fast-forwards and schedules its visibility plan.
+    rme.monitor.notice_access()
+    assert rme.stats.count("fastpath_hits") == 1
+    assert rme.monitor.fastforward_pending
+    # Advance partway into the epoch, then reconfigure mid-scan.
+    system.sim.run(until=rme.monitor._ff_end / 2)
+    assert rme.monitor.fastforward_pending
+    system.register_var(loaded, ["A2"])
+    assert rme.dram.guard_until == 0.0
+    # The next activation must run cycle-level (state is mid-epoch).
+    rme.monitor.notice_access()
+    system.sim.run()
+    _stats = rme.stats
+    assert _stats.count("fastpath_fallback_interrupted") == 1
+    # The flag is one-shot: a fresh configuration fast-forwards again.
+    system.register_var(loaded, ["A1"])
+    rme.monitor.notice_access()
+    system.sim.run()
+    assert _stats.count("fastpath_hits") == 2
+
+
+# -- the timing memo cache ----------------------------------------------------------
+
+
+def test_timing_cache_hits_across_identical_systems():
+    TIMING_CACHE.invalidate("test setup")
+    first, sys1 = _run(FASTPATH)
+    second, sys2 = _run(FASTPATH)
+    assert sys1.rme.stats.count("fastpath_cache_misses") >= 1
+    assert sys2.rme.stats.count("fastpath_cache_hits") >= 1
+    assert second.elapsed_ns == first.elapsed_ns
+    assert second.value == first.value
+    gauge = sys2.rme.stats.gauge("fastpath_cache_hit_rate")
+    assert gauge.value > 0.0
+
+
+def test_cache_invalidated_by_tracer_and_faults():
+    TIMING_CACHE.invalidate("test setup")
+    _run(FASTPATH)
+    assert len(TIMING_CACHE) > 0
+    system = RelationalMemorySystem(FASTPATH, MLP)
+    system.enable_tracing()
+    assert len(TIMING_CACHE) == 0
+    _run(FASTPATH)
+    assert len(TIMING_CACHE) > 0
+    system = RelationalMemorySystem(FASTPATH, MLP)
+    system.enable_faults(FaultPlan())
+    assert len(TIMING_CACHE) == 0
+
+
+def test_cache_bounded():
+    cache = type(TIMING_CACHE)(max_entries=4)
+    from repro.sim.fastpath import EpochTiming
+    for i in range(10):
+        cache.put(("key", i), EpochTiming())
+    assert len(cache) == 4

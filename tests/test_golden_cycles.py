@@ -1,0 +1,95 @@
+"""Golden cycle-count fixtures: the simulator's timing is contractual.
+
+The JSON files under ``tests/golden/`` pin the exact simulated series of
+three representative figures at small scales. Every scenario is computed
+twice — cycle-level and with the fast-forward replay enabled — and both
+must reproduce the stored numbers bit-for-bit. A diff here means the
+simulated timing semantics changed: either fix the regression or, if the
+change is an intentional model revision, regenerate the fixtures with
+
+    PYTHONPATH=src python -m tests.test_golden_cycles --regenerate
+
+and explain the timing change in the commit message.
+"""
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.figures import (
+    fig01_projectivity,
+    fig06_q1_designs,
+    fig08_offset_sweep,
+)
+from repro.config import ZCU102
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FASTPATH = dataclasses.replace(ZCU102, fastpath=True)
+
+#: Each scenario is (fixture file, figure callable taking ``platform``).
+#: Scales are chosen small enough for the test suite but large enough to
+#: exercise credit back-pressure, bank conflicts and packed-line
+#: completion (fig06), analytical curves (fig01), and burst-length-2
+#: straddling descriptors (fig08).
+SCENARIOS = {
+    "fig01_projectivity.json": lambda platform: fig01_projectivity(
+        n_points=12, n_rows=8192, platform=platform
+    ),
+    "fig06_q1_small.json": lambda platform: fig06_q1_designs(
+        n_rows=512, widths=(1, 4, 16), platform=platform
+    ),
+    "fig08_offsets.json": lambda platform: fig08_offset_sweep(
+        n_rows=256, offsets=(0, 4, 13, 29, 45, 60), platform=platform
+    ),
+}
+
+
+def _snapshot(figure) -> dict:
+    return {"xs": list(figure.xs), "series": figure.series}
+
+
+@pytest.mark.parametrize("fixture", sorted(SCENARIOS))
+@pytest.mark.parametrize("platform", [ZCU102, FASTPATH],
+                         ids=["cycle-level", "fastpath"])
+def test_golden_cycles(fixture, platform):
+    path = GOLDEN_DIR / fixture
+    assert path.exists(), (
+        f"missing fixture {path}; regenerate with "
+        "PYTHONPATH=src python -m tests.test_golden_cycles --regenerate"
+    )
+    golden = json.loads(path.read_text())
+    produced = _snapshot(SCENARIOS[fixture](platform))
+    assert produced["xs"] == golden["xs"]
+    assert set(produced["series"]) == set(golden["series"])
+    for name, values in golden["series"].items():
+        assert produced["series"][name] == values, (
+            f"{fixture}: series {name!r} diverged from the golden cycle "
+            "counts"
+        )
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for fixture, build in sorted(SCENARIOS.items()):
+        snapshot = _snapshot(build(ZCU102))
+        # Sanity: the fast path must agree before the fixture is trusted.
+        fast = _snapshot(build(FASTPATH))
+        if fast != snapshot:
+            raise SystemExit(
+                f"{fixture}: fast-forward and cycle-level runs disagree; "
+                "fix that before regenerating goldens"
+            )
+        (GOLDEN_DIR / fixture).write_text(
+            json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {GOLDEN_DIR / fixture}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        raise SystemExit(__doc__)
