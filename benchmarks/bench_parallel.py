@@ -1,0 +1,82 @@
+"""Wall-clock trajectory of the sharded multi-process dispatch layer.
+
+Times the fig06 Q1 design sweep twice — single-process (``jobs=1``) and
+sharded across worker processes (``jobs=N``, one per usable core, at
+least 2) — and asserts the layer's two contracts:
+
+* **bit-identity**: the sharded sweep's xs and every series are equal,
+  float for float, to the single-process run (``repro.parallel`` places
+  results by shard index and runs the same batch body in both modes);
+* **speedup**: with 4 or more usable cores the sharded run must be at
+  least 2x faster wall-clock. On smaller hosts (CI runners are often
+  1-2 cores, where process spawn overhead dominates a ~seconds sweep)
+  the ratio is recorded but not asserted.
+
+The machine-readable report lands in ``BENCH_parallel.json``. Set
+``REPRO_PERF_QUICK=1`` for small CI scales (identity still asserted).
+"""
+
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+
+from repro.bench.figures import fig06_q1_designs
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+
+#: The acceptance floor, asserted only on hosts with enough cores for
+#: the ratio to be meaningful.
+MIN_SPEEDUP = 2.0
+MIN_CORES_FOR_FLOOR = 4
+
+
+def _sweep_kwargs():
+    if QUICK:
+        return dict(n_rows=512, widths=(1, 4, 16))
+    return dict(n_rows=2048)
+
+
+def _timed_sweep(jobs):
+    start = time.perf_counter()
+    figure = fig06_q1_designs(jobs=jobs, **_sweep_kwargs())
+    return time.perf_counter() - start, figure
+
+
+def bench_parallel_fig06(benchmark):
+    cores = multiprocessing.cpu_count()
+    jobs = max(2, min(cores, 8))
+
+    single_s, single = benchmark.pedantic(
+        _timed_sweep, args=(1,), rounds=1, iterations=1
+    )
+    sharded_s, sharded = _timed_sweep(jobs)
+
+    identical = (single.xs == sharded.xs and single.series == sharded.series)
+    speedup = single_s / sharded_s if sharded_s else float("inf")
+
+    report = {
+        "benchmark": "sharded dispatch wall-clock",
+        "mode": "quick" if QUICK else "full",
+        "cores": cores,
+        "jobs": jobs,
+        "single_process_s": round(single_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "speedup": round(speedup, 3),
+        "identical": identical,
+        "floor_asserted": cores >= MIN_CORES_FOR_FLOOR,
+    }
+    out = pathlib.Path("BENCH_parallel.json")
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print()
+    print(f"fig06 sweep: jobs=1 {single_s:.2f}s, jobs={jobs} {sharded_s:.2f}s "
+          f"({speedup:.2f}x on {cores} cores)")
+    print(f"wrote {out}")
+
+    assert identical, "sharded fig06 diverged from the single-process sweep"
+    if cores >= MIN_CORES_FOR_FLOOR:
+        assert speedup >= MIN_SPEEDUP, (
+            f"sharded speedup {speedup:.2f}x is below the "
+            f"{MIN_SPEEDUP:.1f}x floor on a {cores}-core host"
+        )

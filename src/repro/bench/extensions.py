@@ -9,12 +9,14 @@ files run them with assertions, and the CLI exposes them as
 
 from __future__ import annotations
 
+import functools
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..config import PlatformConfig, ZCU102
 from ..core.relmem import RelationalMemorySystem
 from ..memsys.cpu import ScanSegment
+from ..parallel import parallel_map
 from ..query.executor import QueryExecutor
 from ..query.expr import Col
 from ..query.queries import Query, q1, q4
@@ -236,6 +238,34 @@ def ext_noncontiguous_tradeoff(
     )
 
 
+def _ext_serving_point(
+    point: Tuple[float, str],
+    tenants: tuple,
+    profile,
+    n_requests: int,
+    queue_depth: int,
+    seed: int,
+    platform: PlatformConfig,
+) -> Tuple[float, float]:
+    """One (load factor, port policy) serving run: ``(p99_ns, shed %)``.
+
+    The arrival schedule is rebuilt from the same seed in every shard,
+    so each policy at each load factor replays the identical Poisson
+    stream no matter which process serves it.
+    """
+    from ..serve import OpenLoopWorkload, ServingSystem
+
+    factor, policy = point
+    workload = OpenLoopWorkload(
+        tenants, rate_qps=factor * profile.saturation_rate_qps(),
+        n_requests=n_requests, seed=seed,
+    )
+    report = ServingSystem(
+        profile, policy=policy, queue_depth=queue_depth, platform=platform,
+    ).run(workload)
+    return (report.p99_ns, round(100 * report.shed_rate, 1))
+
+
 def ext_serving_sweep(
     n_rows: int = 512,
     n_requests: int = 300,
@@ -243,6 +273,7 @@ def ext_serving_sweep(
     queue_depth: int = 48,
     seed: int = 7,
     platform: PlatformConfig = ZCU102,
+    jobs: int = 1,
 ) -> FigureResult:
     """Tail latency vs. offered load under each configuration-port policy.
 
@@ -253,28 +284,33 @@ def ext_serving_sweep(
     thrashes the descriptor (every request pays reconfiguration), while
     context switching batches same-descriptor work and a second port
     absorbs the contention outright.
+
+    Profiling always runs in this process (its cost is shared across
+    every point); ``jobs`` shards the (load factor, policy) serving runs.
     """
-    from ..serve import OpenLoopWorkload, ServingSystem, default_tenants, profile_workload
+    from ..serve import default_tenants, profile_workload
 
     tenants = default_tenants(n_tenants=n_tenants, n_rows=n_rows, seed=seed)
     profile = profile_workload(tenants, platform=platform)
     saturation = profile.saturation_rate_qps()
     load_factors = (0.3, 0.7, 1.0, 1.3)
     policies = ("fcfs", "ctx-switch", "multi-port")
+    points = [(factor, policy)
+              for factor in load_factors for policy in policies]
+    measured = parallel_map(
+        functools.partial(
+            _ext_serving_point, tenants=tuple(tenants), profile=profile,
+            n_requests=n_requests, queue_depth=queue_depth, seed=seed,
+            platform=platform,
+        ),
+        points,
+        jobs=jobs,
+    )
     p99: Dict[str, List[float]] = {p: [] for p in policies}
     shed: Dict[str, List[float]] = {p: [] for p in policies}
-    for factor in load_factors:
-        workload = OpenLoopWorkload(
-            tenants, rate_qps=factor * saturation, n_requests=n_requests,
-            seed=seed,
-        )
-        for policy in policies:
-            report = ServingSystem(
-                profile, policy=policy, queue_depth=queue_depth,
-                platform=platform,
-            ).run(workload)
-            p99[policy].append(report.p99_ns)
-            shed[policy].append(round(100 * report.shed_rate, 1))
+    for (factor, policy), (point_p99, point_shed) in zip(points, measured):
+        p99[policy].append(point_p99)
+        shed[policy].append(point_shed)
     series: Dict[str, List[float]] = {
         f"{policy} p99 ns": p99[policy] for policy in policies
     }
@@ -292,6 +328,34 @@ def ext_serving_sweep(
     )
 
 
+def _ext_faults_point(
+    point: Tuple[float, bool],
+    tenants: tuple,
+    profile,
+    rate_qps: float,
+    n_requests: int,
+    seed: int,
+    platform: PlatformConfig,
+) -> Dict[str, float]:
+    """One (fault rate, recovery on/off) serving run's headline numbers."""
+    from ..faults import NO_RECOVERY
+    from ..serve import OpenLoopWorkload, ServingSystem
+
+    fault_rate, with_recovery = point
+    workload = OpenLoopWorkload(
+        tenants, rate_qps=rate_qps, n_requests=n_requests, seed=seed
+    )
+    kwargs = {} if with_recovery else {"recovery": NO_RECOVERY}
+    report = ServingSystem(
+        profile, fault_rate=fault_rate, platform=platform, **kwargs
+    ).run(workload)
+    return {
+        "availability": round(100 * report.availability, 2),
+        "p99_ns": report.p99_ns,
+        "fallback": round(100 * report.fallback_ratio, 2),
+    }
+
+
 def ext_faults_sweep(
     n_rows: int = 512,
     n_requests: int = 250,
@@ -299,6 +363,7 @@ def ext_faults_sweep(
     seed: int = 7,
     fault_rates: Sequence[float] = (0.0, 0.05, 0.15, 0.3),
     platform: PlatformConfig = ZCU102,
+    jobs: int = 1,
 ) -> FigureResult:
     """Availability and tail latency vs. hardware fault rate.
 
@@ -310,40 +375,36 @@ def ext_faults_sweep(
     re-scan — while the no-recovery engine sheds availability linearly
     with the fault rate.
     """
-    from ..faults import NO_RECOVERY
-    from ..serve import (
-        OpenLoopWorkload,
-        ServingSystem,
-        default_tenants,
-        profile_workload,
-    )
+    from ..serve import default_tenants, profile_workload
 
     tenants = default_tenants(n_tenants=n_tenants, n_rows=n_rows, seed=seed)
     profile = profile_workload(tenants, platform=platform)
     rate = 0.5 * profile.saturation_rate_qps()
+    points = [(fault_rate, with_recovery)
+              for fault_rate in fault_rates
+              for with_recovery in (True, False)]
+    measured = parallel_map(
+        functools.partial(
+            _ext_faults_point, tenants=tuple(tenants), profile=profile,
+            rate_qps=rate, n_requests=n_requests, seed=seed,
+            platform=platform,
+        ),
+        points,
+        jobs=jobs,
+    )
     series: Dict[str, List[float]] = {
         "recovery avail %": [], "no-recovery avail %": [],
         "recovery p99 ns": [], "no-recovery p99 ns": [],
         "recovery fallback %": [],
     }
-    for fault_rate in fault_rates:
-        workload = OpenLoopWorkload(
-            tenants, rate_qps=rate, n_requests=n_requests, seed=seed
-        )
-        recovered = ServingSystem(
-            profile, fault_rate=fault_rate, platform=platform,
-        ).run(workload)
-        bare = ServingSystem(
-            profile, fault_rate=fault_rate, recovery=NO_RECOVERY,
-            platform=platform,
-        ).run(workload)
-        series["recovery avail %"].append(round(100 * recovered.availability, 2))
-        series["no-recovery avail %"].append(round(100 * bare.availability, 2))
-        series["recovery p99 ns"].append(recovered.p99_ns)
-        series["no-recovery p99 ns"].append(bare.p99_ns)
-        series["recovery fallback %"].append(
-            round(100 * recovered.fallback_ratio, 2)
-        )
+    for (fault_rate, with_recovery), point in zip(points, measured):
+        if with_recovery:
+            series["recovery avail %"].append(point["availability"])
+            series["recovery p99 ns"].append(point["p99_ns"])
+            series["recovery fallback %"].append(point["fallback"])
+        else:
+            series["no-recovery avail %"].append(point["availability"])
+            series["no-recovery p99 ns"].append(point["p99_ns"])
     return FigureResult(
         fig_id="Ext: fault sweep",
         title="availability and p99 vs. fault rate, with and without recovery",

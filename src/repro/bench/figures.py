@@ -13,16 +13,18 @@ harness with shape assertions) and by ``examples/reproduce_figures.py``.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PlatformConfig, ZCU102
 from ..errors import ConfigurationError
 from ..model.analytical import figure1_curves
+from ..parallel import parallel_map
 from ..query.queries import Query, q1, q2, q3, q4, q5, q6, q7
 from ..query.expr import Col
 from ..rme.designs import ALL_DESIGNS, BSL, MLP, PCK, DesignParams
 from ..rme.resources import ResourceReport, estimate_resources
-from .runner import ExperimentRunner, FigureResult
+from .runner import ExperimentRunner, FigureResult, PathTimes
 from .workloads import make_relation, make_relation_for_row_size
 
 #: Column widths of the paper's width sweeps (Figures 6, 9, 11, 13a).
@@ -40,15 +42,35 @@ def _runner(platform: PlatformConfig, designs: Sequence[DesignParams]) -> Experi
 # ---------------------------------------------------------------------------
 
 
+def _fig01_point(
+    projectivity: float,
+    row_size: int,
+    n_rows: int,
+    platform: PlatformConfig,
+) -> Dict[str, List[float]]:
+    """One projectivity's analytical curves (a length-1 slice of Figure 1)."""
+    return figure1_curves([projectivity], row_size, n_rows, platform)
+
+
 def fig01_projectivity(
     n_points: int = 20,
     row_size: int = 64,
     n_rows: int = 32_768,
     platform: PlatformConfig = ZCU102,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 1: row cost flat, column cost rising, ideal = min of the two."""
     projectivities = [(i + 1) / n_points for i in range(n_points)]
-    curves = figure1_curves(projectivities, row_size, n_rows, platform)
+    chunks = parallel_map(
+        functools.partial(_fig01_point, row_size=row_size,
+                          n_rows=n_rows, platform=platform),
+        projectivities,
+        jobs=jobs,
+    )
+    curves: Dict[str, List[float]] = {name: [] for name in chunks[0]}
+    for chunk in chunks:
+        for name, values in chunk.items():
+            curves[name].extend(values)
     return FigureResult(
         fig_id="Figure 1",
         title="Query cost vs. projectivity (analytical)",
@@ -65,21 +87,41 @@ def fig01_projectivity(
 # ---------------------------------------------------------------------------
 
 
+def _fig06_point(
+    width: int,
+    n_rows: int,
+    platform: PlatformConfig,
+    designs: Tuple[DesignParams, ...],
+) -> PathTimes:
+    """One Figure-6 geometry point: every access path at one column width.
+
+    Builds its own runner and (memoized, seeded) relation, so the result
+    is identical whether it runs inline or in a worker process.
+    """
+    runner = _runner(platform, designs)
+    table = make_relation(n_rows, n_cols=max(2, 64 // width), col_width=width)
+    return runner.measure_paths(table, q1("A1"))
+
+
 def fig06_q1_designs(
     n_rows: int = 2048,
     widths: Sequence[int] = WIDTH_SWEEP,
     platform: PlatformConfig = ZCU102,
     designs: Sequence[DesignParams] = ALL_DESIGNS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 6: normalized Q1 time for Direct / Columnar / BSL / PCK / MLP."""
     series: Dict[str, List[float]] = {"Direct": [], "Columnar": []}
     for design in designs:
         series[f"{design.name} cold"] = []
         series[f"{design.name} hot"] = []
-    runner = _runner(platform, designs)
-    for width in widths:
-        table = make_relation(n_rows, n_cols=max(2, 64 // width), col_width=width)
-        times = runner.measure_paths(table, q1("A1"))
+    points = parallel_map(
+        functools.partial(_fig06_point, n_rows=n_rows,
+                          platform=platform, designs=tuple(designs)),
+        list(widths),
+        jobs=jobs,
+    )
+    for times in points:
         series["Direct"].append(times.direct_ns)
         series["Columnar"].append(times.columnar_ns)
         for design in designs:
@@ -141,12 +183,50 @@ def fig07_cache_stats(
 # ---------------------------------------------------------------------------
 
 
+def _offset_query(off: int) -> Tuple[Query, List[str]]:
+    """A SUM over the 4-byte group starting at byte ``off`` of the row."""
+    cols = tuple(f"A{off + i + 1}" for i in range(4))
+    query = Query(
+        name=f"sum@{off}",
+        sql=f"SELECT SUM({cols[0]}) FROM S  -- 4B group at offset {off}",
+        select=cols,
+        aggregate="sum",
+        agg_expr=Col(cols[0]),
+    )
+    return query, list(cols)
+
+
+def _fig08_point(
+    off: int,
+    n_rows: int,
+    platform: PlatformConfig,
+    designs: Tuple[DesignParams, ...],
+    include_hot: bool,
+) -> Dict[str, float]:
+    """One Figure-8 offset: Direct plus per-design cold (and hot) times."""
+    runner = _runner(platform, designs)
+    # 64 one-byte columns let the group start at any byte offset.
+    table = make_relation(n_rows, n_cols=64, col_width=1)
+    query, group = _offset_query(off)
+    point = {"Direct": runner.time_direct(table, query).elapsed_ns}
+    for design in designs:
+        cold = runner.time_rme(table, query, design, hot=False,
+                               group_columns=group)
+        point[f"{design.name} cold"] = cold.elapsed_ns
+        if include_hot:
+            hot = runner.time_rme(table, query, design, hot=True,
+                                  group_columns=group)
+            point[f"{design.name} hot"] = hot.elapsed_ns
+    return point
+
+
 def fig08_offset_sweep(
     n_rows: int = 512,
     offsets: Optional[Sequence[int]] = None,
     platform: PlatformConfig = ZCU102,
     designs: Sequence[DesignParams] = ALL_DESIGNS,
     include_hot: bool = True,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 8: sum over a 4-byte column at every offset 0..60 of a
     64-byte row.
@@ -158,35 +238,20 @@ def fig08_offset_sweep(
     offsets = list(offsets) if offsets is not None else list(range(0, 61))
     if any(not 0 <= off <= 60 for off in offsets):
         raise ConfigurationError("offsets must lie in [0, 60]")
-    runner = _runner(platform, designs)
-    # 64 one-byte columns let the group start at any byte offset.
-    table = make_relation(n_rows, n_cols=64, col_width=1)
-
-    def offset_query(off: int) -> Tuple[Query, List[str]]:
-        cols = tuple(f"A{off + i + 1}" for i in range(4))
-        query = Query(
-            name=f"sum@{off}",
-            sql=f"SELECT SUM({cols[0]}) FROM S  -- 4B group at offset {off}",
-            select=cols,
-            aggregate="sum",
-            agg_expr=Col(cols[0]),
-        )
-        return query, list(cols)
-
     series: Dict[str, List[float]] = {"Direct": []}
     for design in designs:
         series[f"{design.name} cold"] = []
         if include_hot:
             series[f"{design.name} hot"] = []
-    for off in offsets:
-        query, group = offset_query(off)
-        series["Direct"].append(runner.time_direct(table, query).elapsed_ns)
-        for design in designs:
-            cold = runner.time_rme(table, query, design, hot=False, group_columns=group)
-            series[f"{design.name} cold"].append(cold.elapsed_ns)
-            if include_hot:
-                hot = runner.time_rme(table, query, design, hot=True, group_columns=group)
-                series[f"{design.name} hot"].append(hot.elapsed_ns)
+    points = parallel_map(
+        functools.partial(_fig08_point, n_rows=n_rows, platform=platform,
+                          designs=tuple(designs), include_hot=include_hot),
+        offsets,
+        jobs=jobs,
+    )
+    for point in points:
+        for name in series:
+            series[name].append(point[name])
     return FigureResult(
         fig_id="Figure 8",
         title="Impact of the target column's offset (sum over a 4B column)",

@@ -16,6 +16,9 @@ from .runner import FigureResult
 
 
 def _fmt(value) -> str:
+    if value is None:
+        # An empty histogram's min/max: distinct from a real 0.0.
+        return "-"
     if isinstance(value, float):
         if value == 0:
             return "0"
@@ -120,7 +123,10 @@ def metrics_to_csv(registry) -> str:
         for metric, value in sorted(statset.as_dict().items()):
             if isinstance(value, dict):
                 for fld, v in sorted(value.items()):
-                    lines.append(f"{path},{metric},{fld},{v!r}")
+                    # None (an unobserved histogram's min/max) exports as
+                    # an empty cell, never as a fake 0.0.
+                    cell = "" if v is None else repr(v)
+                    lines.append(f"{path},{metric},{fld},{cell}")
             else:
                 lines.append(f"{path},{metric},value,{value!r}")
     return "\n".join(lines)

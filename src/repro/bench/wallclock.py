@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import ZCU102, PlatformConfig
 from ..errors import SimulationError
+from ..parallel import WORKER_CACHE_TRAFFIC
 from ..sim.fastpath import TIMING_CACHE
 from .figures import fig01_projectivity, fig06_q1_designs
 
@@ -125,25 +126,29 @@ def _snapshot_figure(figure) -> dict:
     return {"xs": list(figure.xs), "series": figure.series}
 
 
-def _scenario_fig01(quick: bool) -> Callable[[PlatformConfig], object]:
+def _scenario_fig01(quick: bool, jobs: Optional[int]) -> Callable[[PlatformConfig], object]:
     kwargs = dict(n_points=8, n_rows=8192) if quick else {}
 
     def run(platform: PlatformConfig):
-        return _snapshot_figure(fig01_projectivity(platform=platform, **kwargs))
+        return _snapshot_figure(fig01_projectivity(
+            platform=platform, jobs=jobs or 1, **kwargs
+        ))
 
     return run
 
 
-def _scenario_fig06(quick: bool) -> Callable[[PlatformConfig], object]:
+def _scenario_fig06(quick: bool, jobs: Optional[int]) -> Callable[[PlatformConfig], object]:
     kwargs = dict(n_rows=512, widths=(1, 4, 16)) if quick else {}
 
     def run(platform: PlatformConfig):
-        return _snapshot_figure(fig06_q1_designs(platform=platform, **kwargs))
+        return _snapshot_figure(fig06_q1_designs(
+            platform=platform, jobs=jobs or 1, **kwargs
+        ))
 
     return run
 
 
-def _scenario_serving(quick: bool) -> Callable[[PlatformConfig], object]:
+def _scenario_serving(quick: bool, jobs: Optional[int]) -> Callable[[PlatformConfig], object]:
     n_rows, n_requests, n_tenants = (128, 80, 2) if quick else (512, 300, 3)
 
     def run(platform: PlatformConfig):
@@ -157,7 +162,7 @@ def _scenario_serving(quick: bool) -> Callable[[PlatformConfig], object]:
         tenants = default_tenants(
             n_tenants=n_tenants, n_rows=n_rows, seed=7
         )
-        profile = profile_workload(tenants, platform=platform)
+        profile = profile_workload(tenants, platform=platform, jobs=jobs)
         workload = OpenLoopWorkload(
             tenants, rate_qps=0.8 * profile.saturation_rate_qps(),
             n_requests=n_requests, seed=7,
@@ -169,7 +174,7 @@ def _scenario_serving(quick: bool) -> Callable[[PlatformConfig], object]:
 
 
 #: name -> scenario builder; order is the report order.
-SCENARIOS: Dict[str, Callable[[bool], Callable]] = {
+SCENARIOS: Dict[str, Callable[[bool, Optional[int]], Callable]] = {
     "fig01": _scenario_fig01,
     "fig06": _scenario_fig06,
     "serving": _scenario_serving,
@@ -184,17 +189,33 @@ def _measure(run: Callable[[PlatformConfig], object],
     return time.perf_counter() - start, snapshot
 
 
+def _timing_lookups() -> int:
+    """Total timing-memo lookups observed so far, in this process *and*
+    inside any pool workers (whose traffic only reaches the parent as
+    merged deltas)."""
+    worker = (WORKER_CACHE_TRAFFIC.counter("timing_hits").count
+              + WORKER_CACHE_TRAFFIC.counter("timing_misses").count)
+    return TIMING_CACHE.hits + TIMING_CACHE.misses + int(worker)
+
+
 def run_wallclock(
     quick: bool = False,
     scenarios: Optional[Sequence[str]] = None,
     min_fig06_speedup: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> WallclockReport:
     """Time every scenario both ways; raise on any simulated divergence.
 
     ``min_fig06_speedup`` defaults to :data:`FIG06_MIN_SPEEDUP` in full
     mode and to no floor in quick mode (quick scales are too small for a
     stable ratio; CI uses quick mode purely as an equality check).
+
+    ``jobs`` shards each scenario's sweep points across worker processes
+    (see :mod:`repro.parallel`); both the cycle-level and fast-forward
+    runs use the same ``jobs``, so the bit-identity comparison still
+    holds point for point. ``None`` keeps the legacy single-process
+    paths.
     """
     names = list(scenarios) if scenarios else list(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
@@ -208,16 +229,16 @@ def run_wallclock(
 
     timings: List[ScenarioTiming] = []
     for name in names:
-        run = SCENARIOS[name](quick)
+        run = SCENARIOS[name](quick, jobs)
         if progress:
             progress(f"{name}: cycle-level run ...")
         cycle_s, cycle_snap = _measure(run, CYCLE_LEVEL)
         if progress:
             progress(f"{name}: fast-forward run ...")
-        lookups_before = TIMING_CACHE.hits + TIMING_CACHE.misses
+        lookups_before = _timing_lookups()
         fast_s, fast_snap = _measure(run, FAST_FORWARD)
         # One timing-memo lookup happens per fast-forwarded epoch.
-        hits = TIMING_CACHE.hits + TIMING_CACHE.misses - lookups_before
+        hits = _timing_lookups() - lookups_before
         identical = cycle_snap == fast_snap
         if not identical:
             raise SimulationError(

@@ -3,6 +3,8 @@
 The subcommands cover the common workflows without writing Python:
 
 * ``figures`` — regenerate the paper's figures/tables (all or a subset);
+* ``bench`` — run one shardable sweep across ``--jobs N`` worker
+  processes (``repro.parallel``); output is bit-identical to ``--jobs 1``;
 * ``query`` — run an ad-hoc SQL query over a generated benchmark relation
   on every access path and compare;
 * ``serve`` — run a concurrent multi-tenant query workload through the
@@ -92,6 +94,21 @@ _FIGURES: Dict[str, Callable] = {
         n_rows=max(128, rows // 2)),
 }
 
+#: Sweeps whose drivers shard across processes; same row scaling as
+#: ``_FIGURES`` so ``repro bench NAME --jobs 1`` matches ``repro figures
+#: NAME`` point for point.
+_PARALLEL_FIGURES: Dict[str, Callable] = {
+    "fig01": lambda rows, jobs: figure_drivers.fig01_projectivity(jobs=jobs),
+    "fig06": lambda rows, jobs: figure_drivers.fig06_q1_designs(
+        n_rows=rows, jobs=jobs),
+    "fig08": lambda rows, jobs: figure_drivers.fig08_offset_sweep(
+        n_rows=max(128, rows // 4), jobs=jobs),
+    "ext-serving": lambda rows, jobs: extension_drivers.ext_serving_sweep(
+        n_rows=max(128, rows // 2), jobs=jobs),
+    "ext-faults": lambda rows, jobs: extension_drivers.ext_faults_sweep(
+        n_rows=max(128, rows // 2), jobs=jobs),
+}
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = _Parser(
@@ -110,6 +127,24 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="rows per experiment point (default 1024)")
     figures.add_argument("--csv", metavar="DIR", default=None,
                          help="also write each figure's series as CSV into DIR")
+
+    bench = commands.add_parser(
+        "bench", help="run one shardable sweep across worker processes")
+    bench.add_argument(
+        "name",
+        help=f"sweep to run (one of {', '.join(_PARALLEL_FIGURES)})",
+    )
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes; output is bit-identical to "
+                            "--jobs 1 (default 1)")
+    bench.add_argument("--rows", type=int, default=1024,
+                       help="rows per experiment point (default 1024)")
+    bench.add_argument("--csv", metavar="PATH", default=None,
+                       help="also write the series as CSV to PATH")
+    bench.add_argument("--json", dest="json_path", metavar="PATH",
+                       default=None,
+                       help="also write xs/series as sorted JSON to PATH "
+                            "(byte-comparable across --jobs values)")
 
     query = commands.add_parser("query", help="run an ad-hoc SQL query")
     query.add_argument("sql", help='e.g. "SELECT SUM(A1) FROM S WHERE A2 > 0"')
@@ -198,6 +233,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE",
                        help="override a platform parameter, e.g. "
                             "--config pl_freq_mhz=300 (repeatable)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="shard tenant/template profiling across this "
+                            "many processes (default: single-process "
+                            "legacy profiling)")
 
     chaos = commands.add_parser(
         "chaos", help="inject hardware faults and measure recovery")
@@ -236,6 +275,9 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--output", default="BENCH_wallclock.json",
                       help="JSON report path (default BENCH_wallclock.json; "
                            "'-' to skip)")
+    perf.add_argument("--jobs", type=int, default=None,
+                      help="shard each scenario's sweep across this many "
+                           "processes (both timed runs use the same jobs)")
 
     resources = commands.add_parser("resources", help="Table-3 style estimate")
     resources.add_argument("--design", default="MLP",
@@ -269,6 +311,35 @@ def _cmd_figures(args, out) -> int:
             path = csv_dir / f"{name}.csv"
             path.write_text(to_csv(result) + "\n")
             print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    import json
+    import pathlib
+
+    from .bench.report import to_csv
+    from .parallel import resolve_jobs
+
+    if args.name not in _PARALLEL_FIGURES:
+        print(f"unknown sweep: {args.name!r} "
+              f"(choose from {', '.join(_PARALLEL_FIGURES)})", file=out)
+        return 2
+    jobs = resolve_jobs(args.jobs)
+    result = _PARALLEL_FIGURES[args.name](args.rows, jobs)
+    normalize = "Direct" if args.name == "fig06" else ""
+    print(render_figure(result, normalized_to=normalize), file=out)
+    print(f"jobs: {jobs}  shards: {len(result.xs)}", file=out)
+    if args.csv is not None:
+        path = pathlib.Path(args.csv)
+        path.write_text(to_csv(result) + "\n")
+        print(f"wrote {path}", file=out)
+    if args.json_path is not None:
+        path = pathlib.Path(args.json_path)
+        payload = {"fig_id": result.fig_id, "xs": result.xs,
+                   "series": result.series}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}", file=out)
     return 0
 
 
@@ -438,7 +509,12 @@ def _cmd_serve(args, out) -> int:
     tenants = default_tenants(
         n_tenants=args.tenants, n_rows=args.rows, seed=args.seed
     )
-    profile = profile_workload(tenants, platform=platform, design=design)
+    # Snapshot before profiling so the report and the summary line both
+    # describe *this command's* cache traffic, not the process lifetime.
+    cache_snapshot = PROFILE_CACHE.snapshot()
+    profile = profile_workload(
+        tenants, platform=platform, design=design, jobs=args.jobs
+    )
     if args.arrival == "closed":
         workload = ClosedLoopWorkload(
             tenants, n_clients=args.clients, n_requests=args.requests,
@@ -453,7 +529,7 @@ def _cmd_serve(args, out) -> int:
     system = ServingSystem(
         profile, policy=args.policy, n_ports=args.ports,
         queue_depth=args.queue_depth, quantum=args.quantum,
-        platform=platform, design=design,
+        platform=platform, design=design, cache_snapshot=cache_snapshot,
     )
     report = system.run(workload)
     if args.format == "json":
@@ -462,10 +538,12 @@ def _cmd_serve(args, out) -> int:
         print(metrics_to_csv(report.metrics), file=out)
     else:
         print(render_slo_report(report), file=out)
-        cache = PROFILE_CACHE
+        hits, misses = PROFILE_CACHE.delta_since(cache_snapshot)
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 0.0
         print(
-            f"profile cache: {cache.hits} hits / {cache.misses} misses "
-            f"(hit rate {cache.hit_rate:.0%})", file=out,
+            f"profile cache: {hits} hits / {misses} misses this run "
+            f"(hit rate {rate:.0%})", file=out,
         )
     return 0
 
@@ -546,6 +624,7 @@ def _cmd_chaos(args, out) -> int:
     tenants = default_tenants(
         n_tenants=args.tenants, n_rows=n_rows, seed=args.seed
     )
+    cache_snapshot = PROFILE_CACHE.snapshot()
     profile = profile_workload(tenants, platform=platform, design=design)
     rate = 0.5 * profile.saturation_rate_qps()
     rows_out = []
@@ -571,10 +650,12 @@ def _cmd_chaos(args, out) -> int:
         ["fault rate", "policy", "avail %", "p99 ns", "fallback %",
          "failed", "breaker opens"], rows_out,
     ), file=out)
+    hits, misses = PROFILE_CACHE.delta_since(cache_snapshot)
+    lookups = hits + misses
+    rate_pct = hits / lookups if lookups else 0.0
     print(
-        f"profile cache: {PROFILE_CACHE.hits} hits / "
-        f"{PROFILE_CACHE.misses} misses "
-        f"(hit rate {PROFILE_CACHE.hit_rate:.0%})", file=out,
+        f"profile cache: {hits} hits / {misses} misses this run "
+        f"(hit rate {rate_pct:.0%})", file=out,
     )
     return 0
 
@@ -591,6 +672,7 @@ def _cmd_perf(args, out) -> int:
         scenarios=args.scenarios,
         min_fig06_speedup=args.min_speedup,
         progress=lambda line: print(f"  {line}", file=out),
+        jobs=args.jobs,
     )
     print(report.render(), file=out)
     if args.output != "-":
@@ -640,6 +722,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 2
     handler = {
         "figures": _cmd_figures,
+        "bench": _cmd_bench,
         "query": _cmd_query,
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,

@@ -247,6 +247,46 @@ ZCU102 = PlatformConfig()
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the sharded execution layer (:mod:`repro.parallel`).
+
+    ``jobs`` is the worker-process count (``None`` = decide at dispatch
+    time from :func:`os.cpu_count`, ``1`` = run every shard inline in
+    shard order — the reference execution every parallel run must match
+    bit-for-bit). ``batch_size`` groups tasks per dispatch to amortize
+    pickling (``None`` = one balanced batch per worker).
+    ``max_restarts`` is the crashed-worker budget: a pool that loses a
+    process is rebuilt and the lost batches resubmitted at most this many
+    times before the remainder falls back to inline execution — the same
+    budgeted-restart stance as :class:`repro.faults.RecoveryPolicy`.
+    """
+
+    jobs: "int | None" = None
+    batch_size: "int | None" = None
+    max_restarts: int = 2
+    #: Ship the parent's warm TIMING_CACHE / PROFILE_CACHE entries to
+    #: every worker at pool start-up (a pure warm-up; results never
+    #: depend on it).
+    ship_caches: bool = True
+
+    def validate(self) -> None:
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+
+#: Default dispatch parameters for sharded sweeps and profiling.
+DEFAULT_PARALLEL = ParallelConfig()
+
+
+@dataclass(frozen=True)
 class RMEConfig:
     """The RME configuration port — the four registers of the paper's Table 1.
 

@@ -1,0 +1,283 @@
+"""repro.parallel — sharded multi-process execution with deterministic merging.
+
+Every sweep in :mod:`repro.bench` and the serving profiler decompose into
+*shards*: self-contained tasks (one Figure-6 geometry point, one
+ext-serving load factor, one (tenant, template) profiling pair) that each
+build a fresh simulated platform from ``t = 0`` and therefore produce the
+same bits no matter which process runs them. This module is the dispatch
+layer that fans those shards across ``--jobs N`` worker processes and
+folds the results back together:
+
+* :func:`parallel_map` — the ordered, seeded process-pool map. ``jobs=1``
+  executes every shard inline **in shard order**; that run is the
+  reference, and any ``jobs=N`` run merges to bit-identical output
+  because results are placed by shard index, never by completion order.
+* **Batched dispatch** — tasks are pickled to workers in contiguous
+  batches (amortizing serialization), and each batch ships its results
+  back together with the worker's cache-traffic delta.
+* **Warm cache shipping** — the parent's :data:`repro.sim.fastpath
+  .TIMING_CACHE` and :data:`repro.serve.profiles.PROFILE_CACHE` entries
+  are exported once per pool and absorbed by every worker at start-up, so
+  workers skip the epoch-signature learning the parent already paid for.
+  Shipping is a pure warm-up: absorbed entries can only be *hits* for
+  keys the parent already resolved, never different values.
+* **Budgeted worker-restart** — a crashed worker (OOM-killed, signalled)
+  surfaces as ``BrokenProcessPool``; the pool is rebuilt and the lost
+  batches resubmitted under the same budgeted-restart stance as
+  :class:`repro.faults.RecoveryPolicy` (``max_retries`` = pool rebuilds),
+  falling back to inline execution when the budget is spent. Ordinary
+  task exceptions propagate immediately — they are deterministic and
+  retrying cannot help.
+
+Merging of telemetry rides on the instrument algebra added for this
+layer: ``Counter``/``Gauge``/``Histogram``/``StatSet`` ``merge()`` and
+:meth:`repro.sim.MetricsRegistry.merged` (log-linear histogram buckets
+add exactly, so merged percentiles equal single-process percentiles).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from .config import DEFAULT_PARALLEL, ParallelConfig
+from .faults import DEFAULT_RECOVERY, RecoveryPolicy
+from .sim.stats import StatSet
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Set in worker processes by the pool initializer: nested parallel_map
+#: calls inside a worker always run inline instead of forking grandchildren.
+_IN_WORKER = False
+
+#: Cumulative cache traffic that happened inside worker processes. The
+#: parent's own ``TIMING_CACHE``/``PROFILE_CACHE`` counters never see
+#: that traffic, so accounting that used to read those counters (the
+#: wall-clock benchmark's per-epoch tally) reads deltas of this instead.
+#: Inline execution is deliberately excluded — it already shows up in the
+#: parent's counters.
+WORKER_CACHE_TRAFFIC = StatSet("parallel.worker_cache")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """An explicit ``jobs`` value, or the host's usable core count."""
+    if jobs is not None:
+        if jobs < 1:
+            from .errors import ConfigurationError
+
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+    return multiprocessing.cpu_count() or 1
+
+
+def derive_seed(base: int, *parts) -> int:
+    """A stable per-shard seed mixed from ``base`` and the shard identity.
+
+    CRC-mixing (not ``base + index``) keeps sibling shards' random
+    streams uncorrelated while staying reproducible across processes and
+    platforms.
+    """
+    text = ":".join([str(base)] + [str(p) for p in parts])
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# cache shipping + worker-side execution
+# ---------------------------------------------------------------------------
+
+
+def _export_caches() -> Dict[str, list]:
+    """The parent's warm memo entries, ready to pickle to workers."""
+    from .serve.profiles import PROFILE_CACHE
+    from .sim.fastpath import TIMING_CACHE
+
+    return {
+        "timing": TIMING_CACHE.export_entries(),
+        "profiles": PROFILE_CACHE.export_entries(),
+    }
+
+
+def _cache_counts() -> Tuple[int, int, int, int]:
+    from .serve.profiles import PROFILE_CACHE
+    from .sim.fastpath import TIMING_CACHE
+
+    return (TIMING_CACHE.hits, TIMING_CACHE.misses,
+            PROFILE_CACHE.hits, PROFILE_CACHE.misses)
+
+
+def _worker_init(shipment: Optional[Dict[str, list]]) -> None:
+    """Pool initializer: mark the process as a worker and warm its caches."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    if shipment:
+        from .serve.profiles import PROFILE_CACHE
+        from .sim.fastpath import TIMING_CACHE
+
+        TIMING_CACHE.absorb(shipment.get("timing", []))
+        PROFILE_CACHE.absorb(shipment.get("profiles", []))
+
+
+def _execute_batch(fn: Callable[[T], R], items: Sequence[T]) -> Tuple[List[R], Dict[str, int]]:
+    """Run one batch in order; returns results plus the cache-traffic delta.
+
+    Runs identically inline (``jobs=1``) and in a worker — this shared
+    body *is* the determinism argument: there is no parallel-only code
+    path around the task function.
+    """
+    before = _cache_counts()
+    results = [fn(item) for item in items]
+    after = _cache_counts()
+    delta = {
+        "timing_hits": after[0] - before[0],
+        "timing_misses": after[1] - before[1],
+        "profile_hits": after[2] - before[2],
+        "profile_misses": after[3] - before[3],
+    }
+    return results, delta
+
+
+def _record_delta(stats: StatSet, delta: Dict[str, int]) -> None:
+    for name, value in delta.items():
+        if value:
+            stats.bump(name, value)
+    lookups = delta["timing_hits"] + delta["timing_misses"]
+    if lookups:
+        stats.bump("timing_lookups", lookups)
+
+
+def _make_batches(
+    n_items: int, jobs: int, batch_size: Optional[int]
+) -> List[range]:
+    """Contiguous index batches. Small batches (about four per worker)
+    keep heterogeneous shards load-balanced without pickling per-task."""
+    if batch_size is None:
+        batch_size = max(1, -(-n_items // (jobs * 4)))
+    return [range(lo, min(lo + batch_size, n_items))
+            for lo in range(0, n_items, batch_size)]
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the ordered process-pool map
+# ---------------------------------------------------------------------------
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    config: Optional[ParallelConfig] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    stats: Optional[StatSet] = None,
+) -> List[R]:
+    """``[fn(x) for x in items]``, sharded across ``jobs`` processes.
+
+    The determinism contract: the returned list is ordered by item index,
+    results are merged in index order regardless of worker completion
+    order, and ``jobs=1`` (or one item, or a nested call inside a worker)
+    runs the exact same batch body inline — so ``jobs=N`` output is
+    bit-identical to ``jobs=1`` for any deterministic ``fn``.
+
+    ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` of one) and so must the items and results.
+    Worker crashes are retried by rebuilding the pool at most
+    ``recovery.max_retries`` times (default: the
+    :data:`~repro.faults.DEFAULT_RECOVERY` budget, capped by
+    ``config.max_restarts``); when the budget is spent the surviving
+    batches run inline rather than failing the sweep. Task exceptions
+    propagate unchanged on first occurrence.
+
+    ``stats`` (optional) receives dispatch telemetry: task/batch counts,
+    worker restarts, inline fallbacks and the workers' cache-traffic
+    deltas (``timing_hits``/``timing_lookups``/...).
+    """
+    cfg = config or DEFAULT_PARALLEL
+    cfg.validate()
+    policy = recovery or DEFAULT_RECOVERY
+    if stats is None:
+        stats = StatSet("parallel")  # recorded, then discarded
+    items = list(items)
+    n_jobs = resolve_jobs(jobs if jobs is not None else cfg.jobs)
+    stats.set_gauge("jobs", n_jobs)
+    if items:
+        stats.bump("tasks", len(items))
+
+    if _IN_WORKER or n_jobs <= 1 or len(items) <= 1:
+        results, delta = _execute_batch(fn, items)
+        _record_delta(stats, delta)
+        stats.bump("batches")
+        return results
+
+    batches = _make_batches(len(items), n_jobs, batch_size or cfg.batch_size)
+    results: List[Optional[R]] = [None] * len(items)
+    pending: List[range] = list(batches)
+    shipment = _export_caches() if cfg.ship_caches else None
+    restarts_left = min(cfg.max_restarts, policy.max_retries) \
+        if policy.enabled else 0
+
+    while pending:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(pending)),
+                mp_context=_mp_context(),
+                initializer=_worker_init,
+                initargs=(shipment,),
+            ) as pool:
+                futures = {
+                    pool.submit(_execute_batch, fn, [items[i] for i in span]):
+                    span
+                    for span in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                    for future in done:
+                        span = futures[future]
+                        batch_results, delta = future.result()
+                        for index, value in zip(span, batch_results):
+                            results[index] = value
+                        _record_delta(stats, delta)
+                        _record_delta(WORKER_CACHE_TRAFFIC, delta)
+                        stats.bump("batches")
+                        pending.remove(span)
+        except BrokenProcessPool:
+            # A worker died mid-batch (OOM kill, stray signal). Rebuild
+            # the pool and resubmit whatever is still pending, on the
+            # same budgeted-restart stance as the fault-recovery layer.
+            if restarts_left > 0:
+                restarts_left -= 1
+                stats.bump("worker_restarts")
+                continue
+            # Budget spent: degrade to inline execution instead of
+            # failing the sweep (the analogue of the CPU fallback).
+            stats.bump("inline_fallbacks")
+            for span in list(pending):
+                batch_results, delta = _execute_batch(
+                    fn, [items[i] for i in span]
+                )
+                for index, value in zip(span, batch_results):
+                    results[index] = value
+                _record_delta(stats, delta)
+                stats.bump("batches")
+                pending.remove(span)
+    return results  # type: ignore[return-value]
+
+
+__all__ = [
+    "ParallelConfig",
+    "derive_seed",
+    "parallel_map",
+    "resolve_jobs",
+]

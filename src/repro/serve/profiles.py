@@ -29,6 +29,7 @@ descriptor".
 
 from __future__ import annotations
 
+import functools
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -167,6 +168,36 @@ class ProfileCache:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
+    def snapshot(self) -> Tuple[int, int]:
+        """The lifetime ``(hits, misses)`` pair at this instant.
+
+        Callers that want *per-run* rates snapshot before the run and
+        diff after — the counters themselves are process-lifetime.
+        """
+        return (self.hits, self.misses)
+
+    def delta_since(self, snapshot: Tuple[int, int]) -> Tuple[int, int]:
+        """``(hits, misses)`` accumulated since :meth:`snapshot`."""
+        hits0, misses0 = snapshot
+        return (self.hits - hits0, self.misses - misses0)
+
+    def export_entries(self) -> list:
+        """Every ``(key, profile)`` pair, for shipping to workers."""
+        return list(self._entries.items())
+
+    def absorb(self, entries: list) -> int:
+        """Install exported entries (existing keys win); returns how many
+        were new. Counters are untouched — absorbed entries are warm-up,
+        not traffic."""
+        added = 0
+        for key, profile in entries:
+            if key not in self._entries:
+                if len(self._entries) >= self.max_entries:
+                    self._entries.pop(next(iter(self._entries)))
+                self._entries[key] = profile
+                added += 1
+        return added
+
 
 #: Shared counters plus the ``hit_rate`` gauge for the profile memo.
 PROFILE_CACHE_STATS = StatSet("profile_cache")
@@ -208,6 +239,117 @@ def _workload_key(
     )
 
 
+def _pair_list(tenants: Sequence[TenantSpec]) -> List[Tuple[str, str]]:
+    """Every (tenant, template) pair in canonical profiling order."""
+    return [
+        (spec.name, template)
+        for spec in tenants
+        for template, _query in spec.templates
+    ]
+
+
+def _build_profiling_system(
+    tenants: Sequence[TenantSpec],
+    platform: PlatformConfig,
+    design: DesignParams,
+    buffer_capacity: "int | None",
+):
+    """A fresh engine with every tenant's table loaded and every pair's
+    ephemeral variable registered in canonical order.
+
+    Registration order fixes the ephemeral address layout, so two
+    processes that call this see bit-identical engine state — the
+    precondition for sharding pairs across workers.
+    """
+    kwargs = {}
+    if buffer_capacity is not None:
+        kwargs["buffer_capacity"] = buffer_capacity
+    system = RelationalMemorySystem(platform, design, **kwargs)
+    loaded = {t.name: system.load_table(t.table) for t in tenants}
+    first = loaded[tenants[0].name]
+    evictor = system.register_var(
+        first, [first.schema.names[0]], activate=False
+    )
+    variables = {}
+    for spec in tenants:
+        table = loaded[spec.name]
+        for template, query in spec.templates:
+            columns = [c for c in query.columns()]
+            missing = [c for c in columns if c not in table.schema]
+            if missing:
+                raise ConfigurationError(
+                    f"tenant {spec.name!r} template {template!r} references "
+                    f"columns {missing} outside its schema"
+                )
+            variables[(spec.name, template)] = system.register_var(
+                table, columns, activate=False, allow_noncontiguous=True
+            )
+    return system, loaded, evictor, variables
+
+
+def _measure_pair(
+    system, loaded, evictor, var, platform, spec: TenantSpec,
+    template: str, query,
+) -> QueryProfile:
+    """One pair's cold/hot/direct measurement (shared by both protocols)."""
+    executor = QueryExecutor(system)
+    table = loaded[spec.name]
+    columns = [c for c in query.columns()]
+    runs = tuple(table.schema.column_runs(columns))
+    system.activate(evictor)  # someone else's descriptor is loaded
+    cold = executor.run_rme(query, var)
+    hot = executor.run_rme(query, var)
+    if cold.value != hot.value:
+        raise ConfigurationError(
+            f"cold/hot answers diverged for {spec.name}/{template}"
+        )
+    direct = executor.run_direct(query, table)
+    if direct.value != cold.value:
+        raise ConfigurationError(
+            f"RME answer diverged from direct scan for "
+            f"{spec.name}/{template}"
+        )
+    return QueryProfile(
+        tenant=spec.name,
+        template=template,
+        sql=query.sql,
+        descriptor=(spec.name, runs),
+        columns=tuple(columns),
+        n_rows=table.table.n_rows,
+        program_ns=port_program_ns(platform, var.config),
+        cold_ns=cold.elapsed_ns,
+        hot_ns=hot.elapsed_ns,
+        value=cold.value,
+        direct_ns=direct.elapsed_ns,
+    )
+
+
+def _profile_pair_task(pair_index: int, context: tuple) -> QueryProfile:
+    """Shard body of the parallel profiler: measure ONE pair on a fresh
+    engine.
+
+    Measurements taken later in the legacy shared-engine loop depend on
+    the simulated clock the earlier measurements advanced (float
+    timestamps are offset-sensitive), so pairs cannot be split out of
+    that loop bit-identically. The sharded protocol instead gives every
+    pair the same start state — a freshly built engine with the full
+    canonical layout — which makes each pair's numbers independent of
+    which worker measured it, and of how many workers there are.
+    """
+    tenants, platform, design, buffer_capacity = context
+    system, loaded, evictor, variables = _build_profiling_system(
+        tenants, platform, design, buffer_capacity
+    )
+    pairs = _pair_list(tenants)
+    name, template = pairs[pair_index]
+    spec = next(t for t in tenants if t.name == name)
+    query = dict(spec.templates)[template]
+    return _measure_pair(
+        system, loaded, evictor, variables[(name, template)],
+        platform, spec, template, query,
+    )
+
+
 def port_program_ns(platform: PlatformConfig, config) -> float:
     """Time to program the configuration port for ``config``.
 
@@ -221,11 +363,58 @@ def port_program_ns(platform: PlatformConfig, config) -> float:
     return len(config.register_writes()) * per_write
 
 
+#: Cache-key marker for the sharded protocol: its numbers come from
+#: fresh-engine-per-pair measurements and must never satisfy (or be
+#: satisfied by) a legacy shared-engine lookup.
+_SHARDED_PROTOCOL = ("isolated-pairs", 1)
+
+
+def _profile_workload_sharded(
+    tenants: Sequence[TenantSpec],
+    platform: PlatformConfig,
+    design: DesignParams,
+    buffer_capacity: "int | None",
+    jobs: int,
+) -> WorkloadProfile:
+    """The isolated-pair protocol: one fresh engine per (tenant, template).
+
+    ``jobs=1`` runs the exact same shard body inline in canonical pair
+    order, so any ``jobs=N`` result is bit-identical to it by
+    construction (see :func:`repro.parallel.parallel_map`).
+    """
+    key = _workload_key(tenants, platform, design, buffer_capacity) \
+        + (_SHARDED_PROTOCOL,)
+    cached = PROFILE_CACHE.get(key)
+    if cached is not None:
+        return WorkloadProfile(
+            platform=platform,
+            design_name=design.name,
+            tenants=tuple(tenants),
+            profiles=cached.profiles,
+        )
+    from ..parallel import parallel_map
+
+    context = (tuple(tenants), platform, design, buffer_capacity)
+    pairs = _pair_list(tenants)
+    task = functools.partial(_profile_pair_task, context=context)
+    measured = parallel_map(task, range(len(pairs)), jobs=jobs)
+    profiles = {(p.tenant, p.template): p for p in measured}
+    result = WorkloadProfile(
+        platform=platform,
+        design_name=design.name,
+        tenants=tuple(tenants),
+        profiles=profiles,
+    )
+    PROFILE_CACHE.put(key, result)
+    return result
+
+
 def profile_workload(
     tenants: Sequence[TenantSpec],
     platform: PlatformConfig = ZCU102,
     design: DesignParams = MLP,
     buffer_capacity: int = None,
+    jobs: Optional[int] = None,
 ) -> WorkloadProfile:
     """Measure every (tenant, template) pair on one shared platform.
 
@@ -234,9 +423,24 @@ def profile_workload(
     templates and platform returns the stored measurements without
     touching the simulator. The returned profile always carries the
     *caller's* tenant specs so weight changes take effect immediately.
+
+    ``jobs=None`` (the default) keeps the legacy shared-engine loop:
+    every pair measured on one engine, each measurement starting from the
+    simulated clock the previous one left behind. ``jobs=int`` switches
+    to the *isolated-pair* protocol — each pair measured on a fresh
+    engine holding the full canonical layout — which makes per-pair
+    numbers start-state-independent and therefore shardable across
+    processes; ``jobs=1`` and ``jobs=N`` are bit-identical. The two
+    protocols measure the same physics at slightly different simulated
+    clock offsets, so they are cached under distinct keys and their
+    numbers differ in the last few ulps.
     """
     if not tenants:
         raise ConfigurationError("profiling needs at least one tenant")
+    if jobs is not None:
+        return _profile_workload_sharded(
+            tenants, platform, design, buffer_capacity, jobs
+        )
     key = _workload_key(tenants, platform, design, buffer_capacity)
     cached = PROFILE_CACHE.get(key)
     if cached is not None:

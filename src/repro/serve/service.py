@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import PlatformConfig, ZCU102
 from ..errors import ConfigurationError
@@ -191,7 +191,16 @@ class ServingSystem:
         fault_rate: float = 0.0,
         recovery: Optional[RecoveryPolicy] = None,
         fault_seed: int = 1234,
+        cache_snapshot: Optional[Tuple[int, int]] = None,
     ):
+        # Per-run profile-cache accounting: the report's hit-rate gauge
+        # covers this run only, not the process lifetime. Callers that
+        # profile *before* constructing the system (the CLI does) pass
+        # the snapshot they took first, so their profiling traffic counts.
+        self._cache_snapshot = (
+            cache_snapshot if cache_snapshot is not None
+            else PROFILE_CACHE.snapshot()
+        )
         if not 0.0 <= fault_rate < 1.0:
             raise ConfigurationError(
                 f"fault_rate must be in [0, 1), got {fault_rate}"
@@ -236,12 +245,16 @@ class ServingSystem:
         metrics = self.metrics = MetricsRegistry("serve")
         self._sched_stats = metrics.scope("scheduler")
         self._slo_stats = metrics.scope("slo")
-        # The profile memo is process-wide; snapshot its health here so
-        # the hit-rate gauge ships with every serving report.
+        # The profile memo is process-wide; the gauges report the *delta*
+        # since this system's construction (or the caller's snapshot), so
+        # repeated serve/chaos runs in one process see per-run rates, not
+        # the process-lifetime ratio.
+        hits, misses = PROFILE_CACHE.delta_since(self._cache_snapshot)
+        lookups = hits + misses
         cache_stats = metrics.scope("profile_cache")
-        cache_stats.set_gauge("hits", float(PROFILE_CACHE.hits))
-        cache_stats.set_gauge("misses", float(PROFILE_CACHE.misses))
-        cache_stats.set_gauge("hit_rate", PROFILE_CACHE.hit_rate)
+        cache_stats.set_gauge("hits", float(hits))
+        cache_stats.set_gauge("misses", float(misses))
+        cache_stats.set_gauge("hit_rate", hits / lookups if lookups else 0.0)
         self._tenant_stats = {
             spec.name: metrics.scope(f"tenant.{spec.name}")
             for spec in self.profile.tenants

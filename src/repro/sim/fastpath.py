@@ -128,6 +128,28 @@ class TimingCache:
             self.invalidations += 1
         return dropped
 
+    def export_entries(self) -> list:
+        """Every ``(key, timing)`` pair, for shipping to worker processes.
+
+        Keys and :class:`EpochTiming` records are built from primitives,
+        so the export pickles; a worker that absorbs it starts with the
+        parent's learned epoch signatures instead of re-deriving them.
+        """
+        return list(self._entries.items())
+
+    def absorb(self, entries: list) -> int:
+        """Install exported entries (existing keys win); returns how many
+        were new. Hit/miss counters are untouched — absorbed entries are
+        warm-up, not traffic."""
+        added = 0
+        for key, timing in entries:
+            if key not in self._entries:
+                if len(self._entries) >= self.max_entries:
+                    self._entries.pop(next(iter(self._entries)))
+                self._entries[key] = timing
+                added += 1
+        return added
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -108,6 +108,52 @@ class MetricsRegistry:
                     out[f"{path}.{metric}.{field}"] = value
         return out
 
+    # -- shard merging --------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every set of ``other`` into the same path of this registry.
+
+        Paths missing here become registry-owned scopes; paths that exist
+        must be scopes too (merging into a component-owned set attached
+        by reference would silently mutate a live component). Merging is
+        associative, so shard registries can be folded in any grouping —
+        the parallel layer folds them in shard-index order to keep gauge
+        last-writer semantics deterministic.
+        """
+        for path, stats in other:
+            self.scope(path).merge(stats)
+
+    def absorb_shard(self, shard: "MetricsRegistry", namespace: str) -> None:
+        """Attach every set of ``shard`` by reference under ``namespace``.
+
+        ``shard0.tenant.a`` style paths keep per-shard telemetry
+        addressable next to the merged view; the shard's sets stay live,
+        they are not copied.
+        """
+        if not namespace:
+            raise SimulationError("absorb_shard needs a non-empty namespace")
+        for path, stats in shard:
+            self.attach(f"{namespace}.{path}", stats)
+
+    @classmethod
+    def merged(
+        cls,
+        shards: "List[MetricsRegistry]",
+        name: str = "merged",
+        keep_shards: bool = False,
+    ) -> "MetricsRegistry":
+        """One registry combining ``shards`` deterministically.
+
+        Every instrument is folded per path in shard-index order; with
+        ``keep_shards`` the inputs additionally stay addressable under
+        ``shard<i>.<path>``.
+        """
+        out = cls(name)
+        for index, shard in enumerate(shards):
+            out.merge(shard)
+            if keep_shards:
+                out.absorb_shard(shard, f"shard{index}")
+        return out
+
     # -- lifecycle ------------------------------------------------------------
     def reset(self) -> None:
         """Zero every attached instrument (between measured runs)."""

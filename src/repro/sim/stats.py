@@ -43,6 +43,11 @@ class Counter:
         """Average accumulated value per increment (0 when never hit)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Counter") -> None:
+        """Fold ``other`` into this counter (associative, commutative)."""
+        self.count += other.count
+        self.total += other.total
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -70,6 +75,23 @@ class Gauge:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold ``other`` into this gauge.
+
+        Extremes and update counts combine associatively and
+        commutatively; ``value`` ("last written") keeps the value of the
+        *later* operand whenever it saw any update, so merging shards in
+        shard-index order is deterministic regardless of which worker
+        finished first.
+        """
+        if other.updates:
+            self.value = other.value
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        self.updates += other.updates
 
     def reset(self) -> None:
         self.value = 0.0
@@ -169,11 +191,18 @@ class Histogram:
 
         Returns the upper edge of the containing bucket, clamped to the
         exact observed ``[min, max]``; 0.0 when nothing was observed.
+        ``p=0`` and ``p=100`` return the exact observed minimum and
+        maximum — the rank clamp below would otherwise force ``p=0`` to
+        the first occupied bucket's upper edge instead of the minimum.
         """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self.count:
             return 0.0
+        if p == 0:
+            return self.min
+        if p == 100:
+            return self.max
         rank = max(1, math.ceil(self.count * p / 100.0))
         cumulative = self._underflow
         estimate = 0.0
@@ -189,6 +218,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s distribution into this one.
+
+        Bucket, underflow and observation counts add exactly, and the
+        observed extremes combine, so every percentile of the merged
+        histogram equals the percentile of one histogram that saw all
+        observations — the property the sharded execution layer relies
+        on. ``total`` is a float sum, so the merged mean can differ from
+        a sequentially accumulated one by float rounding; the percentile
+        algebra is exact.
+        """
+        if other.subbuckets != self.subbuckets:
+            raise ValueError(
+                f"cannot merge histograms with different sub-bucket counts "
+                f"({self.subbuckets} vs {other.subbuckets})"
+            )
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        self._underflow += other._underflow
+        for key, n in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + n
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -197,13 +252,19 @@ class Histogram:
         self._buckets.clear()
         self._underflow = 0
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """Snapshot of the histogram's summary statistics.
+
+        ``min``/``max`` are ``None`` when nothing was observed — a 0.0
+        there would be indistinguishable from a real observation of 0.0
+        in exported CSV/JSON.
+        """
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
-            "min": self.min if self.min is not None else 0.0,
-            "max": self.max if self.max is not None else 0.0,
+            "min": self.min,
+            "max": self.max,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
@@ -278,6 +339,26 @@ class StatSet:
         """Percentile of histogram ``name`` (0.0 if never observed)."""
         histogram = self._histograms.get(name)
         return histogram.percentile(p) if histogram else 0.0
+
+    def merge(self, other: "StatSet") -> None:
+        """Fold every instrument of ``other`` into this set by name.
+
+        Instruments missing on this side are created (with ``other``'s
+        sub-bucket geometry for histograms), so merging shard StatSets
+        into a fresh set reconstructs the union. Merging is associative,
+        and commutative up to gauge ``value`` (last-writer) semantics.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram(
+                    name, subbuckets=histogram.subbuckets
+                )
+            mine.merge(histogram)
 
     def reset(self) -> None:
         for counter in self._counters.values():

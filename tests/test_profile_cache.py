@@ -105,10 +105,34 @@ def test_hit_rate_exported_as_gauge():
     assert PROFILE_CACHE.hit_rate > 0.0
     workload = OpenLoopWorkload(tenants, rate_qps=2000.0,
                                 n_requests=20, seed=3)
-    report = ServingSystem(profile_workload(tenants)).run(workload)
-    snapshot = report.metrics.as_dict()["profile_cache"]
-    assert snapshot["hit_rate"]["value"] == PROFILE_CACHE.hit_rate
-    assert snapshot["hits"]["value"] >= 1.0
+
+    # The report's gauges are *per-run* deltas: a snapshot taken before
+    # this run's profiling lookup attributes exactly that one hit.
+    snap = PROFILE_CACHE.snapshot()
+    report = ServingSystem(
+        profile_workload(tenants), cache_snapshot=snap
+    ).run(workload)
+    scope = report.metrics.as_dict()["profile_cache"]
+    assert scope["hits"]["value"] == 1.0
+    assert scope["misses"]["value"] == 0.0
+    assert scope["hit_rate"]["value"] == 1.0
+
+
+def test_hit_rate_gauge_is_per_run_not_lifetime():
+    """A run whose window saw no lookups reports 0, never the lifetime
+    rate the process accumulated before it (the bug this pins)."""
+    tenants = _tenants()
+    profile = profile_workload(tenants)
+    profile_workload(tenants)  # lifetime hit_rate is now > 0
+    assert PROFILE_CACHE.hit_rate > 0.0
+    workload = OpenLoopWorkload(tenants, rate_qps=2000.0,
+                                n_requests=20, seed=3)
+    report = ServingSystem(profile).run(workload)  # snapshot at init
+    scope = report.metrics.as_dict()["profile_cache"]
+    assert scope["hits"]["value"] == 0.0
+    assert scope["misses"]["value"] == 0.0
+    assert scope["hit_rate"]["value"] == 0.0
+    assert scope["hit_rate"]["value"] != PROFILE_CACHE.hit_rate
 
 
 def test_cache_bounded_fifo():
