@@ -56,11 +56,19 @@ from .model import AnalyticalModel, EnergyBreakdown, EnergyModel, figure1_curves
 from .query import (
     Col,
     Const,
+    Engine,
+    ExecutionPlan,
+    ExecutionReport,
+    Processor,
     Query,
     QueryExecutor,
     QueryResult,
     RELATIONAL_MEMORY_BENCHMARK,
+    LeafRelation,
+    Relation,
+    RelationVisitor,
     choose_access_path,
+    print_tree,
     q1,
     q2,
     q3,
@@ -69,6 +77,9 @@ from .query import (
     q6,
     q7,
     parse_query,
+    parse_relation,
+    relation_from_query,
+    to_query,
 )
 from .rme import (
     BSL,
@@ -157,14 +168,22 @@ __all__ = [
     "uint32",
     "listing1_schema",
     "uniform_schema",
-    # queries
+    # queries (relational-algebra IR + engines)
     "Col",
     "Const",
+    "Engine",
+    "ExecutionPlan",
+    "ExecutionReport",
+    "Processor",
     "Query",
     "QueryExecutor",
     "QueryResult",
     "RELATIONAL_MEMORY_BENCHMARK",
+    "LeafRelation",
+    "Relation",
+    "RelationVisitor",
     "choose_access_path",
+    "print_tree",
     "q1",
     "q2",
     "q3",
@@ -173,6 +192,9 @@ __all__ = [
     "q6",
     "q7",
     "parse_query",
+    "parse_relation",
+    "relation_from_query",
+    "to_query",
     # serving
     "ClosedLoopWorkload",
     "OpenLoopWorkload",

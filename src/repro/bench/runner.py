@@ -13,7 +13,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PlatformConfig, ZCU102
 from ..core.relmem import RelationalMemorySystem
-from ..query.executor import QueryExecutor, QueryResult
+from ..query.engines import COLUMNAR, CPU, RME
+from ..query.executor import QueryResult
+from ..query.processor import Processor
 from ..query.queries import Query
 from ..rme.designs import ALL_DESIGNS, MLP, DesignParams
 from ..storage.row_table import RowTable
@@ -98,18 +100,30 @@ class ExperimentRunner:
         return RelationalMemorySystem(self.platform, design, **kwargs)
 
     def time_direct(self, table: RowTable, query: Query) -> QueryResult:
+        """Time the all-CPU tree: row-store scan, no transfers."""
         system = self._system(MLP)
         loaded = system.load_table(table)
-        return QueryExecutor(system).run_direct(query, loaded)
+        processor = Processor(system)
+        plan = processor.plan(query, loaded, engine=CPU)
+        return processor.execute(plan.relation, loaded=loaded)
 
     def time_columnar(
         self, table: RowTable, query: Query, group_columns: Optional[Sequence[str]] = None
     ) -> QueryResult:
+        """Time the tree with its fetch placed on the columnar copy.
+
+        ``group_columns`` widens the fetch projection beyond the query's
+        footprint (the projectivity sweeps scan wider groups on purpose).
+        """
         system = self._system(MLP)
         loaded = system.load_table(table)
         columns = list(group_columns or query.columns())
         columnar = system.load_column_group(table, columns)
-        return QueryExecutor(system).run_columnar(query, loaded, columnar)
+        processor = Processor(system)
+        plan = processor.plan(query, loaded, engine=COLUMNAR,
+                              fetch_columns=columns)
+        return processor.execute(plan.relation, loaded=loaded,
+                                 columnar=columnar)
 
     def time_rme(
         self,
@@ -119,15 +133,18 @@ class ExperimentRunner:
         hot: bool = False,
         group_columns: Optional[Sequence[str]] = None,
     ) -> QueryResult:
+        """Time the canonical RME tree (fetch behind explicit transfers)."""
         system = self._system(design)
         loaded = system.load_table(table)
         columns = list(group_columns or query.columns())
         var = system.register_var(loaded, columns)
-        executor = QueryExecutor(system)
+        processor = Processor(system)
+        plan = processor.plan(query, loaded, engine=RME,
+                              fetch_columns=columns)
         if hot:
             system.warm_up(var)
             system.flush_caches()
-        return executor.run_rme(query, var)
+        return processor.execute(plan.relation, var=var)
 
     # -- the full sweep point ---------------------------------------------------------
     def measure_paths(

@@ -145,6 +145,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="also write xs/series as sorted JSON to PATH "
                             "(byte-comparable across --jobs values)")
+    bench.add_argument("--explain", action="store_true",
+                       help="print the engine-annotated IR plan tree for "
+                            "the sweep's queries and exit without running")
 
     query = commands.add_parser("query", help="run an ad-hoc SQL query")
     query.add_argument("sql", help='e.g. "SELECT SUM(A1) FROM S WHERE A2 > 0"')
@@ -237,6 +240,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard tenant/template profiling across this "
                             "many processes (default: single-process "
                             "legacy profiling)")
+    serve.add_argument("--explain", action="store_true",
+                       help="print each (tenant, template) engine-annotated "
+                            "IR plan tree and exit without serving")
 
     chaos = commands.add_parser(
         "chaos", help="inject hardware faults and measure recovery")
@@ -314,6 +320,34 @@ def _cmd_figures(args, out) -> int:
     return 0
 
 
+def _bench_explain_queries(name: str):
+    """The (label, query) pairs a sweep's points are built from."""
+    from .query.queries import q1, q2, q4
+
+    if name in ("ext-serving", "ext-faults"):
+        return [("project", q1("A3")),
+                ("filter", q2(col="A1", sel_col="A2", k=0)),
+                ("sum", q4("A1"))]
+    return [(name, q1())]
+
+
+def _cmd_bench_explain(args, out) -> int:
+    """``repro bench NAME --explain``: print IR plans, execute nothing."""
+    from .query.processor import Processor
+
+    table = make_relation(max(128, min(args.rows, 1024)), seed=42)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    processor = Processor(system)
+    print(f"IR plans for sweep {args.name!r} (nothing is executed):", file=out)
+    for label, query in _bench_explain_queries(args.name):
+        plan = processor.plan(query, loaded)
+        print(f"\n[{label}] engine={plan.engine.name}: {plan.choice.reason}",
+              file=out)
+        print(plan.explain(), file=out)
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
     import json
     import pathlib
@@ -323,8 +357,11 @@ def _cmd_bench(args, out) -> int:
 
     if args.name not in _PARALLEL_FIGURES:
         print(f"unknown sweep: {args.name!r} "
-              f"(choose from {', '.join(_PARALLEL_FIGURES)})", file=out)
+              f"(choose from {', '.join(_PARALLEL_FIGURES)}; "
+              f"--explain previews any sweep's IR plan)", file=out)
         return 2
+    if args.explain:
+        return _cmd_bench_explain(args, out)
     jobs = resolve_jobs(args.jobs)
     result = _PARALLEL_FIGURES[args.name](args.rows, jobs)
     normalize = "Direct" if args.name == "fig06" else ""
@@ -494,6 +531,26 @@ def _platform_from_overrides(pairs: List[str]):
         )
 
 
+def _cmd_serve_explain(args, tenants, out) -> int:
+    """``repro serve --explain``: print per-pair IR plans, serve nothing."""
+    from .query.engines import RME
+    from .query.processor import Processor
+
+    platform = _platform_from_overrides(args.config)
+    design = design_by_name(args.design)
+    system = RelationalMemorySystem(platform, design)
+    loaded = {t.name: system.load_table(t.table) for t in tenants}
+    processor = Processor(system)
+    print("IR plans per (tenant, template); serving executes the RME tree "
+          "and re-roots onto @degraded on unrecoverable faults:", file=out)
+    for spec in tenants:
+        for template, query in spec.templates:
+            plan = processor.plan(query, loaded[spec.name], engine=RME)
+            print(f"\n[{spec.name}/{template}]", file=out)
+            print(plan.explain(), file=out)
+    return 0
+
+
 def _cmd_serve(args, out) -> int:
     from .serve import (
         PROFILE_CACHE,
@@ -509,6 +566,8 @@ def _cmd_serve(args, out) -> int:
     tenants = default_tenants(
         n_tenants=args.tenants, n_rows=args.rows, seed=args.seed
     )
+    if args.explain:
+        return _cmd_serve_explain(args, tenants, out)
     # Snapshot before profiling so the report and the summary line both
     # describe *this command's* cache traffic, not the process lifetime.
     cache_snapshot = PROFILE_CACHE.snapshot()
@@ -708,6 +767,13 @@ def _cmd_info(_args, out) -> int:
     return 0
 
 
+def _usage_tip(exc: "_UsageError") -> str:
+    """Extra pointer for bench/serve mistakes: the IR plan-dump flag."""
+    if str(exc).startswith(("repro bench", "repro serve")):
+        return "; --explain previews the engine-annotated IR plan"
+    return ""
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """The console entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -715,7 +781,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     try:
         args = parser.parse_args(argv)
     except _UsageError as exc:
-        print(f"error: {exc} (see 'repro --help')", file=out)
+        print(f"error: {exc} (see 'repro --help'{_usage_tip(exc)})", file=out)
         return 2
     if args.command is None:
         parser.print_help(file=out)
@@ -735,7 +801,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     try:
         return handler(args, out)
     except _UsageError as exc:
-        print(f"error: {exc} (see 'repro --help')", file=out)
+        print(f"error: {exc} (see 'repro --help'{_usage_tip(exc)})", file=out)
         return 2
     except ReproError as exc:
         print(f"error: {exc}", file=out)

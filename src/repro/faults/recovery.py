@@ -15,6 +15,17 @@ State machine of :class:`CircuitBreaker` (per serving tenant)::
 While OPEN, the serving loop routes the tenant's requests straight to the
 CPU row-scan fallback (or sheds them fast when no fallback is allowed)
 instead of burning engine retries on a descriptor that keeps faulting.
+
+In the relational-algebra IR this fallback is *visible in the plan*:
+when an unrecoverable ``FaultError`` escapes the RME and the policy's
+``cpu_fallback`` allows degradation, the
+:class:`~repro.query.processor.Processor` re-roots the fetch subtree
+onto the :data:`~repro.query.engines.DEGRADED` engine
+(:func:`~repro.query.processor.reroot_degraded`) — same semantics as
+the executor's historical fallback, but the executed tree recorded in
+:attr:`Processor.last_report` shows ``@degraded`` where the plan said
+``@rme``. With ``cpu_fallback=False`` the fault still propagates to the
+caller unchanged.
 """
 
 from __future__ import annotations

@@ -1,17 +1,63 @@
-"""The query layer: expressions, operators, the Relational Memory
-Benchmark queries (Q1-Q7), an executor that prices queries over any access
-path, and a cost-based access-path optimizer.
+"""The query layer: a relational-algebra IR with pluggable engines.
 
-The executor follows the paper's philosophy (Section 3): the hardware only
+Queries are immutable :class:`~repro.query.relation.Relation` expression
+trees — Selection, Projection (the column-group fetch), Join, Aggregate
+as frozen dataclasses — annotated with
+:class:`~repro.query.engines.Engine` objects (RME column-group
+projection, CPU row scan, columnar copy, index, degraded fallback) and
+explicit :class:`~repro.query.relation.Transfer` nodes at engine
+boundaries. The visitor-based
+:class:`~repro.query.processor.Processor` plans (cost-based RME-vs-CPU
+placement) and executes multi-engine trees.
+
+Execution follows the paper's philosophy (Section 3): the hardware only
 *reorganises* data; all actual computation — selection, aggregation,
 group-by — runs on the CPU, priced as per-element compute on top of the
-memory access pattern.
+memory access pattern. The measured scan machinery lives in
+:class:`~repro.query.executor.QueryExecutor`, which the engines
+delegate to — so IR execution is cycle-identical to the historical
+pipeline (``tests/test_ir_equivalence.py`` pins this).
 """
 
+from .engines import (
+    ALL_ENGINES,
+    COLUMNAR,
+    CPU,
+    DEGRADED,
+    INDEX,
+    RME,
+    ColumnarEngine,
+    CpuEngine,
+    DegradedEngine,
+    Engine,
+    IndexEngine,
+    RmeEngine,
+)
 from .expr import BinOp, Col, Const, Expr
 from .executor import QueryExecutor, QueryResult
 from .optimizer import AccessPathChoice, choose_access_path
-from .sql import parse_query
+from .processor import (
+    ExecutionPlan,
+    ExecutionReport,
+    Processor,
+    explain_placement,
+    relation_from_query,
+    reroot_degraded,
+    to_query,
+)
+from .relation import (
+    Aggregate,
+    Join,
+    Label,
+    LeafRelation,
+    Projection,
+    Relation,
+    RelationVisitor,
+    Selection,
+    Transfer,
+    print_tree,
+)
+from .sql import parse_query, parse_relation
 from .queries import (
     Query,
     RELATIONAL_MEMORY_BENCHMARK,
@@ -25,17 +71,44 @@ from .queries import (
 )
 
 __all__ = [
+    "ALL_ENGINES",
     "AccessPathChoice",
+    "Aggregate",
     "BinOp",
+    "COLUMNAR",
+    "CPU",
     "Col",
+    "ColumnarEngine",
     "Const",
+    "CpuEngine",
+    "DEGRADED",
+    "DegradedEngine",
+    "Engine",
+    "ExecutionPlan",
+    "ExecutionReport",
     "Expr",
+    "INDEX",
+    "IndexEngine",
+    "Join",
+    "Label",
+    "LeafRelation",
+    "Processor",
+    "Projection",
     "Query",
     "QueryExecutor",
     "QueryResult",
     "RELATIONAL_MEMORY_BENCHMARK",
+    "RME",
+    "Relation",
+    "RelationVisitor",
+    "RmeEngine",
+    "Selection",
+    "Transfer",
     "choose_access_path",
+    "explain_placement",
     "parse_query",
+    "parse_relation",
+    "print_tree",
     "q1",
     "q2",
     "q3",
@@ -43,4 +116,7 @@ __all__ = [
     "q5",
     "q6",
     "q7",
+    "relation_from_query",
+    "reroot_degraded",
+    "to_query",
 ]

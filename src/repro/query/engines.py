@@ -1,0 +1,182 @@
+"""Engines: the systems that can own and produce a relation's rows.
+
+Following daf_relation, a relation tree is annotated with *engines* —
+frozen, hashable objects identifying which subsystem holds (or can
+compute) each subtree's rows — and :class:`~repro.query.relation
+.Transfer` nodes mark the boundaries where rows move between them.
+
+The reproduction ships four peer engines plus the fault-recovery one:
+
+* :data:`CPU` — the row-store scan path: the CPU walks the base table
+  in DRAM at row stride (the paper's Direct Access);
+* :data:`RME` — the Relational Memory Engine: the PL fetches the
+  column group on the fly and serves a packed ephemeral projection
+  (cold or hot is *state*, not a different engine);
+* :data:`COLUMNAR` — a materialised column-store copy in DRAM (the
+  Columnar baseline: packed, but somebody pays to maintain it);
+* :data:`INDEX` — a B+-tree probe fetching only qualifying rows;
+* :data:`DEGRADED` — the CPU row scan *as a fallback*: the engine a
+  subtree is re-rooted onto when an unrecoverable ``FaultError``
+  escapes the RME (see :mod:`repro.faults.recovery`).
+
+New backends (the ROADMAP's bank-level PIM pushdown, hybrid placement)
+slot in as further ``Engine`` subclasses; the planner and
+``--explain`` output pick them up through the same interface.
+
+>>> CPU.name, RME.name
+('cpu', 'rme')
+>>> CPU == CpuEngine(), CPU == RME
+(True, False)
+>>> RME.access_path.name
+'RME'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.access_path import AccessPath
+
+
+@dataclass(frozen=True)
+class Engine:
+    """Base engine identity: hashable, comparable by type.
+
+    Subclasses define :attr:`name` (the ``@name`` tag in printed plans)
+    and :attr:`access_path` (the measured path the executor machinery
+    uses to price a scan served by this engine).
+
+    >>> Engine().name
+    Traceback (most recent call last):
+        ...
+    NotImplementedError: Engine subclasses define a name
+    """
+
+    @property
+    def name(self) -> str:
+        """Short tag used in plan trees (``@cpu``, ``@rme``, ...)."""
+        raise NotImplementedError("Engine subclasses define a name")
+
+    @property
+    def access_path(self) -> AccessPath:
+        """The :class:`~repro.core.access_path.AccessPath` this engine prices."""
+        raise NotImplementedError("Engine subclasses define an access path")
+
+    @property
+    def label(self) -> str:
+        """Human-readable description (the access path's label)."""
+        return self.access_path.label
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CpuEngine(Engine):
+    """The CPU row-store scan: strided reads over the base table.
+
+    >>> CpuEngine().access_path.name
+    'DIRECT_ROW'
+    """
+
+    @property
+    def name(self) -> str:
+        """``cpu``."""
+        return "cpu"
+
+    @property
+    def access_path(self) -> AccessPath:
+        """Direct row-store access."""
+        return AccessPath.DIRECT_ROW
+
+
+@dataclass(frozen=True)
+class RmeEngine(Engine):
+    """The Relational Memory Engine: on-the-fly column-group projection.
+
+    >>> RmeEngine().access_path.name
+    'RME'
+    """
+
+    @property
+    def name(self) -> str:
+        """``rme``."""
+        return "rme"
+
+    @property
+    def access_path(self) -> AccessPath:
+        """The ephemeral-variable path through the PL."""
+        return AccessPath.RME
+
+
+@dataclass(frozen=True)
+class ColumnarEngine(Engine):
+    """A maintained column-store copy scanned by the CPU.
+
+    >>> ColumnarEngine().access_path.name
+    'COLUMNAR'
+    """
+
+    @property
+    def name(self) -> str:
+        """``columnar``."""
+        return "columnar"
+
+    @property
+    def access_path(self) -> AccessPath:
+        """The materialised-copy path."""
+        return AccessPath.COLUMNAR
+
+
+@dataclass(frozen=True)
+class IndexEngine(Engine):
+    """A B+-tree probe serving only the rows a range predicate matches.
+
+    >>> IndexEngine().access_path.name
+    'INDEX'
+    """
+
+    @property
+    def name(self) -> str:
+        """``index``."""
+        return "index"
+
+    @property
+    def access_path(self) -> AccessPath:
+        """The B+-tree probe path."""
+        return AccessPath.INDEX
+
+
+@dataclass(frozen=True)
+class DegradedEngine(Engine):
+    """The CPU row scan as a fault-recovery fallback.
+
+    Semantically identical to :class:`CpuEngine` (same access path,
+    same answers); the distinct identity keeps re-rooted subtrees
+    visible in plans and reports — a ``@degraded`` tag means "the RME
+    faulted and the processor fell back", not "the planner chose rows".
+
+    >>> DegradedEngine().access_path.name
+    'DIRECT_ROW'
+    """
+
+    @property
+    def name(self) -> str:
+        """``degraded``."""
+        return "degraded"
+
+    @property
+    def access_path(self) -> AccessPath:
+        """The CPU row scan (staleness-free fallback)."""
+        return AccessPath.DIRECT_ROW
+
+
+#: The singleton engine instances used throughout the query layer.
+CPU = CpuEngine()
+RME = RmeEngine()
+COLUMNAR = ColumnarEngine()
+INDEX = IndexEngine()
+DEGRADED = DegradedEngine()
+
+#: Every planner-eligible engine, in display order.
+ALL_ENGINES = (CPU, RME, COLUMNAR, INDEX)

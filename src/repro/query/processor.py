@@ -1,0 +1,613 @@
+"""The visitor-based Processor: plans and executes multi-engine trees.
+
+The :class:`Processor` is the execution half of the relational-algebra
+IR (:mod:`repro.query.relation`). It does three jobs:
+
+1. **Placement** (:meth:`Processor.plan`): given a benchmark
+   :class:`~repro.query.queries.Query` and a loaded table, price every
+   available engine with the cost-based optimizer
+   (:func:`repro.query.optimizer.choose_access_path`) and build the
+   engine-annotated tree — the column-group fetch on the winning
+   engine, explicit :class:`~repro.query.relation.Transfer` nodes at
+   the boundaries, compute operators on the CPU.
+2. **Execution** (:meth:`Processor.execute`): walk a placed tree with a
+   visitor, compile it back onto the measured scan machinery
+   (:class:`~repro.query.executor.QueryExecutor`) and return the usual
+   :class:`~repro.query.executor.QueryResult`. Because the engines
+   delegate to exactly the same measured primitives, answers and cycle
+   counts are bit-identical to the pre-IR pipeline (pinned by
+   ``tests/test_ir_equivalence.py``).
+3. **Degradation**: when the RME raises an unrecoverable ``FaultError``
+   and the recovery policy allows a CPU fallback, the executor degrades
+   transparently; the processor then *re-roots* the fetch subtree onto
+   :data:`~repro.query.engines.DEGRADED` so the executed tree in
+   :attr:`Processor.last_report` records what actually happened — same
+   semantics as before the refactor, now visible in the plan.
+
+The bridge functions :func:`relation_from_query` / :func:`to_query`
+convert between the benchmark ``Query`` description and canonical IR
+trees; they are exact inverses for every benchmark template, which is
+what keeps the equivalence suite byte-level.
+
+>>> from repro.query.queries import q2
+>>> print(explain_placement(q2(k=0)))
+Plan[Q2]: SELECT A1 FROM S WHERE A2 > 0
+└─ Projection[A1] @cpu
+   └─ Selection[(Col(A2) > Const(0))] @cpu
+      └─ Transfer[rme → cpu]
+         └─ Projection[A1,A2] @rme
+            └─ Transfer[cpu → rme]
+               └─ Leaf[S] @cpu
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.access_path import AccessPath
+from ..core.relmem import (
+    LoadedColumnGroup,
+    LoadedIndex,
+    LoadedTable,
+    RelationalMemorySystem,
+)
+from ..errors import QueryError
+from . import ops
+from .engines import (
+    COLUMNAR,
+    CPU,
+    DEGRADED,
+    INDEX,
+    RME,
+    Engine,
+)
+from .executor import QueryExecutor, QueryResult
+from .optimizer import AccessPathChoice, choose_access_path
+from .queries import Query
+from .relation import (
+    Aggregate,
+    Join,
+    Label,
+    LeafRelation,
+    Projection,
+    Relation,
+    RelationVisitor,
+    Selection,
+    Transfer,
+    print_tree,
+)
+
+#: CPU cost (ns) of inserting one row into a join hash table.
+HASH_BUILD_NS = 4.0
+#: CPU cost (ns) of probing the join hash table with one row.
+HASH_PROBE_NS = 4.0
+
+#: AccessPath -> the engine that serves it (planner direction).
+_PATH_ENGINES = {
+    AccessPath.DIRECT_ROW: CPU,
+    AccessPath.COLUMNAR: COLUMNAR,
+    AccessPath.RME: RME,
+    AccessPath.INDEX: INDEX,
+}
+
+
+def relation_from_query(
+    query: Query,
+    engine: Engine = CPU,
+    table: str = "S",
+    schema_columns: Optional[Sequence[str]] = None,
+    fetch_columns: Optional[Sequence[str]] = None,
+) -> Label:
+    """Build the canonical IR tree for a single-table benchmark query.
+
+    The shape is always ``Label → [output π] → [γ] → [σ] → fetch π →
+    Leaf``, with the fetch projection placed on ``engine`` behind
+    explicit transfers when the engine is not the CPU. ``fetch_columns``
+    widens the physically fetched column group beyond the query's
+    footprint (the figure sweeps do this to control projectivity).
+
+    >>> from repro.query.queries import q4
+    >>> print(relation_from_query(q4()))
+    Q4:γ[sum(Col(A1))](π[A1](S))
+    """
+    if query.aggregate is None and query.passes != 1:
+        raise QueryError(
+            f"{query.name}: multi-pass non-aggregate queries are not "
+            "representable in the IR"
+        )
+    needed = tuple(query.columns())
+    fetched = tuple(fetch_columns) if fetch_columns is not None else needed
+    missing = [c for c in needed if c not in fetched]
+    if missing:
+        raise QueryError(
+            f"{query.name}: fetch columns {list(fetched)} do not cover "
+            f"{missing}"
+        )
+    leaf = LeafRelation(
+        table,
+        tuple(schema_columns) if schema_columns is not None else None,
+    )
+    source: Relation = leaf.transfer(engine)
+    fetch: Relation = Projection(target=source, projected=fetched)
+    body = fetch.transfer(CPU)
+    if query.predicate is not None:
+        body = body.select(query.predicate)
+    if query.aggregate is not None:
+        body = body.aggregate(query.aggregate, query.agg_expr,
+                              group_by=query.group_by, passes=query.passes)
+    elif tuple(query.select) != fetched:
+        body = Projection(target=body, projected=tuple(query.select))
+    return body.label(query.name, query.sql)
+
+
+class _QueryCompiler(RelationVisitor):
+    """Compiles a canonical single-table tree back into a ``Query``.
+
+    Walks root-to-leaf recording each operator once; rejects shapes the
+    measured executor cannot price (selection above aggregation, two
+    aggregates, joins — :meth:`Processor.execute` special-cases joins
+    before compiling).
+    """
+
+    def __init__(self) -> None:
+        self.name = "adhoc"
+        self.sql = ""
+        self.select: Optional[Tuple[str, ...]] = None
+        self.predicate = None
+        self.aggregate: Optional[str] = None
+        self.agg_expr = None
+        self.group_by: Optional[str] = None
+        self.passes = 1
+        self.fetch: Optional[Projection] = None
+        self.scan_engine: Engine = CPU
+        self.leaf: Optional[LeafRelation] = None
+
+    # -- traversal ----------------------------------------------------------------
+    def visit_label(self, node: Label) -> None:
+        """Record the query identity and recurse."""
+        self.name, self.sql = node.name, node.sql
+        node.target.accept(self)
+
+    def visit_transfer(self, node: Transfer) -> None:
+        """Transfers are placement, not semantics: recurse."""
+        node.target.accept(self)
+
+    def visit_aggregate(self, node: Aggregate) -> None:
+        """Record the (single) aggregate and recurse."""
+        if self.aggregate is not None:
+            raise QueryError("nested aggregates are not executable")
+        if self.predicate is not None:
+            raise QueryError("selection above an aggregate (HAVING) is not "
+                             "executable")
+        self.aggregate, self.agg_expr = node.func, node.expr
+        self.group_by, self.passes = node.group_by, node.passes
+        node.target.accept(self)
+
+    def visit_selection(self, node: Selection) -> None:
+        """Record the (single) predicate and recurse."""
+        if self.predicate is not None:
+            raise QueryError("conjoin predicates into one Selection "
+                             "expression instead of stacking Selections")
+        self.predicate = node.predicate
+        node.target.accept(self)
+
+    def visit_projection(self, node: Projection) -> None:
+        """Distinguish the fetch projection from an output projection."""
+        below = node.target
+        while isinstance(below, Transfer):
+            below = below.target
+        if isinstance(below, LeafRelation):
+            self.fetch = node
+            self.scan_engine = node.engine
+            below.accept(self)
+            return
+        if self.fetch is not None or self.select is not None:
+            raise QueryError("more than one output projection")
+        if self.aggregate is not None or self.predicate is not None:
+            raise QueryError("projection between compute operators is not "
+                             "executable")
+        self.select = node.projected
+        node.target.accept(self)
+
+    def visit_leaf(self, node: LeafRelation) -> None:
+        """Record the scanned table."""
+        self.leaf = node
+
+    def visit_join(self, node: Join) -> None:
+        """Joins are executed structurally, never compiled to a Query."""
+        raise QueryError("Join trees execute via Processor.execute with "
+                         "table bindings, not via to_query")
+
+    # -- assembly ----------------------------------------------------------------
+    def compile(self, relation: Relation) -> Query:
+        """Run the walk and assemble the equivalent ``Query``."""
+        relation.accept(self)
+        if self.leaf is None:
+            raise QueryError(f"no stored table under {relation}")
+        if self.aggregate is not None:
+            select: Tuple[str, ...] = ()
+        elif self.select is not None:
+            select = self.select
+        elif self.fetch is not None:
+            select = self.fetch.projected
+        else:
+            select = self.leaf.columns
+            if not select:
+                raise QueryError(f"cannot infer columns for {relation}")
+        query = Query(
+            name=self.name,
+            sql=self.sql,
+            select=select,
+            predicate=self.predicate,
+            aggregate=self.aggregate,
+            agg_expr=self.agg_expr,
+            group_by=self.group_by,
+            passes=self.passes,
+        )
+        if self.fetch is not None:
+            uncovered = [c for c in query.columns()
+                         if c not in self.fetch.projected]
+            if uncovered:
+                raise QueryError(
+                    f"{self.name}: fetch projection {list(self.fetch.projected)} "
+                    f"does not cover {uncovered}"
+                )
+        return query
+
+
+def to_query(relation: Relation) -> Query:
+    """Compile a canonical single-table tree into the equivalent ``Query``.
+
+    Exact inverse of :func:`relation_from_query`: expression nodes are
+    carried by reference, so ``to_query(relation_from_query(q)) == q``
+    holds structurally for every benchmark template.
+
+    >>> from repro.query.queries import q5
+    >>> q = q5(k=0)
+    >>> to_query(relation_from_query(q)) == q
+    True
+    """
+    return _QueryCompiler().compile(relation)
+
+
+def scan_engine(relation: Relation) -> Engine:
+    """The engine serving ``relation``'s column-group fetch.
+
+    >>> from repro.query.queries import q1
+    >>> from repro.query.engines import RME
+    >>> scan_engine(relation_from_query(q1(), engine=RME)).name
+    'rme'
+    """
+    compiler = _QueryCompiler()
+    relation.accept(compiler)
+    return compiler.scan_engine
+
+
+def reroot_degraded(relation: Relation) -> Relation:
+    """Re-root the fetch subtree onto the degraded CPU engine.
+
+    Applied by the processor after the executor's fault fallback fired:
+    the returned tree describes the execution that actually happened —
+    the RME subtree replaced by the staleness-free CPU row scan under
+    the :data:`~repro.query.engines.DEGRADED` identity.
+
+    >>> from repro.query.queries import q1
+    >>> from repro.query.engines import RME
+    >>> print(reroot_degraded(relation_from_query(q1(), engine=RME)))
+    Q1:[degraded→cpu](π[A1]([cpu→degraded](S)))
+    """
+    compiler = _QueryCompiler()
+    query = compiler.compile(relation)
+    leaf = compiler.leaf
+    return relation_from_query(
+        query,
+        engine=DEGRADED,
+        table=leaf.name,
+        schema_columns=leaf.schema_columns,
+        fetch_columns=compiler.fetch.projected if compiler.fetch else None,
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A placed tree plus the optimizer decision that shaped it."""
+
+    relation: Relation
+    query: Query
+    choice: Optional[AccessPathChoice] = None
+
+    @property
+    def engine(self) -> Engine:
+        """The engine the plan placed the column-group fetch on."""
+        return scan_engine(self.relation)
+
+    def explain(self) -> str:
+        """The engine-annotated plan tree (``--explain`` output)."""
+        return print_tree(self.relation)
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What one processor execution planned, did, and measured."""
+
+    planned: Relation
+    executed: Relation
+    result: QueryResult
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fault re-rooted the fetch onto the CPU engine."""
+        return self.executed is not self.planned
+
+    def explain(self) -> str:
+        """The executed tree — re-rooted subtrees show ``@degraded``."""
+        return print_tree(self.executed)
+
+
+class Processor:
+    """Plans and executes relation trees on one simulated platform.
+
+    The processor owns no policy of its own: placement defers to the
+    cost model and execution defers to the measured scan machinery, so
+    going through the IR is free of timing drift by construction.
+
+    >>> import random
+    >>> from repro import RelationalMemorySystem, RowTable, uniform_schema
+    >>> from repro.query.queries import q4
+    >>> table = RowTable("S", uniform_schema(4, 4))
+    >>> rng = random.Random(7)
+    >>> for _ in range(64):
+    ...     _ = table.append([rng.randint(-100, 100) for _ in range(4)])
+    >>> system = RelationalMemorySystem()
+    >>> loaded = system.load_table(table)
+    >>> processor = Processor(system)
+    >>> report = processor.run(q4(), loaded)
+    >>> report.result.value == sum(table.column_values("A1"))
+    True
+    >>> report.result.elapsed_ns > 0
+    True
+    """
+
+    def __init__(self, system: RelationalMemorySystem):
+        self.system = system
+        self.executor = QueryExecutor(system)
+        #: The :class:`ExecutionReport` of the most recent execution.
+        self.last_report: Optional[ExecutionReport] = None
+
+    # -- planning -----------------------------------------------------------------
+    def plan(
+        self,
+        query: Query,
+        loaded: LoadedTable,
+        columnar: Optional[LoadedColumnGroup] = None,
+        index: Optional[LoadedIndex] = None,
+        hot: bool = False,
+        selectivity: float = 1.0,
+        engine: Optional[Engine] = None,
+        fetch_columns: Optional[Sequence[str]] = None,
+    ) -> ExecutionPlan:
+        """Choose an engine for the fetch and build the placed tree.
+
+        With ``engine`` given, placement is pinned (no costing); else
+        the cost model prices every available engine — the CPU row scan
+        always, the columnar copy and the index only when supplied,
+        RME always (cold first pass unless ``hot``) — and the cheapest
+        wins the fetch subtree.
+        """
+        choice = None
+        if engine is None:
+            choice = choose_access_path(
+                query,
+                loaded,
+                design=self.system.design,
+                has_columnar_copy=columnar is not None,
+                rme_hot=hot,
+                selectivity=selectivity,
+                index=index.index if index is not None else None,
+            )
+            engine = _PATH_ENGINES[choice.best]
+        relation = relation_from_query(
+            query,
+            engine=engine,
+            table=loaded.name,
+            schema_columns=tuple(loaded.schema.names),
+            fetch_columns=fetch_columns,
+        )
+        return ExecutionPlan(relation=relation, query=query, choice=choice)
+
+    def explain(self, relation: Relation) -> str:
+        """Render ``relation`` as the engine-annotated plan tree."""
+        return print_tree(relation)
+
+    # -- execution ----------------------------------------------------------------
+    def execute(
+        self,
+        relation: Relation,
+        loaded: Optional[LoadedTable] = None,
+        var=None,
+        columnar: Optional[LoadedColumnGroup] = None,
+        index: Optional[LoadedIndex] = None,
+        tables: Optional[Dict[str, LoadedTable]] = None,
+        flush: bool = True,
+    ) -> QueryResult:
+        """Execute a placed tree and return the measured result.
+
+        Bindings supply the storage objects each engine scans: the
+        ``loaded`` row table (CPU / degraded / index), the ``columnar``
+        copy, the ephemeral ``var`` (RME), or — for join trees — the
+        ``tables`` map from leaf name to loaded table. The executed
+        tree (with any fault re-rooting applied) lands in
+        :attr:`last_report`.
+        """
+        if self._join_below(relation):
+            return self._execute_join(relation, tables or {}, flush)
+        query = to_query(relation)
+        engine = scan_engine(relation)
+        executed = relation
+        if engine == RME:
+            if var is None:
+                raise QueryError("an RME-placed tree needs an ephemeral "
+                                 "variable binding (var=...)")
+            result = self.executor.run_rme(query, var, flush)
+            if result.state == "degraded":
+                executed = reroot_degraded(relation)
+        elif engine == COLUMNAR:
+            if loaded is None or columnar is None:
+                raise QueryError("a columnar-placed tree needs loaded= and "
+                                 "columnar= bindings")
+            result = self.executor.run_columnar(query, loaded, columnar, flush)
+        elif engine == INDEX:
+            if loaded is None or index is None:
+                raise QueryError("an index-placed tree needs loaded= and "
+                                 "index= bindings")
+            result = self.executor.run_index(query, loaded, index, flush)
+        else:  # CPU or DEGRADED: the row-store scan
+            if loaded is None:
+                raise QueryError("a CPU-placed tree needs a loaded= binding")
+            result = self.executor.run_direct(query, loaded, flush)
+        self.last_report = ExecutionReport(planned=relation, executed=executed,
+                                           result=result)
+        return result
+
+    def run(
+        self,
+        query: Query,
+        loaded: LoadedTable,
+        columnar: Optional[LoadedColumnGroup] = None,
+        index: Optional[LoadedIndex] = None,
+        hot: bool = False,
+        selectivity: float = 1.0,
+        engine: Optional[Engine] = None,
+        var=None,
+        flush: bool = True,
+    ) -> ExecutionReport:
+        """Plan, bind, and execute in one call.
+
+        When the plan lands on the RME and no ephemeral variable is
+        supplied, one is registered for the fetch columns (and warmed
+        when ``hot``). Returns the full :class:`ExecutionReport`.
+        """
+        plan = self.plan(query, loaded, columnar=columnar, index=index,
+                         hot=hot, selectivity=selectivity, engine=engine)
+        if plan.engine == RME and var is None:
+            var = self.system.register_var(
+                loaded, list(query.columns()), allow_noncontiguous=True
+            )
+            if hot:
+                self.system.warm_up(var)
+                self.system.flush_caches()
+        self.execute(plan.relation, loaded=loaded, var=var,
+                     columnar=columnar, index=index, flush=flush)
+        return self.last_report
+
+    # -- joins --------------------------------------------------------------------
+    @staticmethod
+    def _join_below(node: Relation) -> bool:
+        """True when a Join sits under a chain of unary operators."""
+        while isinstance(node, (Selection, Projection, Aggregate, Transfer,
+                                Label)):
+            node = node.target
+        return isinstance(node, Join)
+
+    def _side_rows(
+        self, side: Relation, tables: Dict[str, LoadedTable], flush: bool
+    ) -> Tuple[List[Dict[str, Any]], QueryResult]:
+        """Scan one join input and return its rows as dicts."""
+        compiler = _QueryCompiler()
+        query = compiler.compile(side)
+        if compiler.scan_engine not in (CPU, DEGRADED):
+            raise QueryError(
+                f"join inputs execute on the CPU engine for now; got "
+                f"{compiler.scan_engine.name} (transfer the subtree to CPU)"
+            )
+        name = compiler.leaf.name
+        if name not in tables:
+            raise QueryError(f"join executes with tables={{...}}; no binding "
+                             f"for leaf {name!r}")
+        if query.aggregate is not None:
+            raise QueryError("aggregates below a join are not executable")
+        result = self.executor.run_direct(query, tables[name], flush)
+        columns = query.select
+        rows = [dict(zip(columns, values)) for values in result.value]
+        return rows, result
+
+    def _execute_join(
+        self, relation: Relation, tables: Dict[str, LoadedTable], flush: bool
+    ) -> QueryResult:
+        """Hash-join two scanned sides, then apply the operators above.
+
+        The functional answer follows the usual split: rows come from
+        the stored tables, the timing is the two measured side scans
+        plus a per-row hash build/probe surcharge on the CPU.
+        """
+        name = relation.name if isinstance(relation, Label) else "join"
+        above: List[Relation] = []
+        node = relation.target if isinstance(relation, Label) else relation
+        while not isinstance(node, Join):
+            above.append(node)
+            node = node.target
+        lhs_rows, lhs_result = self._side_rows(node.lhs, tables, flush)
+        rhs_rows, rhs_result = self._side_rows(node.rhs, tables, flush=False)
+        build: Dict[Any, List[Dict[str, Any]]] = {}
+        for row in lhs_rows:
+            build.setdefault(row[node.on], []).append(row)
+        joined: List[Dict[str, Any]] = []
+        for row in rhs_rows:
+            for match in build.get(row[node.on], ()):
+                merged = dict(match)
+                merged.update(row)
+                joined.append(merged)
+        elapsed = (lhs_result.elapsed_ns + rhs_result.elapsed_ns
+                   + HASH_BUILD_NS * len(lhs_rows)
+                   + HASH_PROBE_NS * len(rhs_rows))
+        value: Any = [tuple(row[c] for c in node.columns) for row in joined]
+        kept = joined
+        for op in reversed(above):
+            if isinstance(op, Selection):
+                kept = ops.filter_rows(kept, op.predicate)
+                value = [tuple(row[c] for c in node.columns) for row in kept]
+            elif isinstance(op, Aggregate):
+                if op.group_by is not None:
+                    value = ops.group_aggregate(kept, op.group_by, op.func,
+                                                op.expr)
+                else:
+                    value = ops.aggregate(op.func,
+                                          [op.expr.eval(row) for row in kept])
+            elif isinstance(op, Projection):
+                value = ops.project(kept, op.projected)
+            # Transfers above a join are placement only.
+        n_rows = lhs_result.rows_scanned + rhs_result.rows_scanned
+        selectivity = len(joined) / len(rhs_rows) if rhs_rows else 0.0
+        result = QueryResult(
+            query=name,
+            path=AccessPath.DIRECT_ROW,
+            value=value,
+            elapsed_ns=elapsed,
+            rows_scanned=n_rows,
+            selectivity=selectivity,
+            state="-",
+            cache_stats=self.system.cache_stats(),
+        )
+        self.last_report = ExecutionReport(planned=relation, executed=relation,
+                                           result=result)
+        return result
+
+
+def explain_placement(query: Query, engine: Engine = RME,
+                      table: str = "S") -> str:
+    """The engine-annotated tree a pinned placement would produce.
+
+    A lightweight helper for docs and ``--explain``: no platform is
+    built, so the tree shows the canonical placement rather than a
+    cost-based decision.
+
+    >>> from repro.query.queries import q1
+    >>> print(explain_placement(q1()))
+    Plan[Q1]: SELECT A1 FROM S
+    └─ Transfer[rme → cpu]
+       └─ Projection[A1] @rme
+          └─ Transfer[cpu → rme]
+             └─ Leaf[S] @cpu
+    """
+    return print_tree(relation_from_query(query, engine=engine, table=table))

@@ -247,3 +247,26 @@ def parse_query(sql: str, name: str = "adhoc") -> Query:
     WHERE tree of comparisons combined with AND/OR, and GROUP BY.
     """
     return _Parser(sql).parse(name)
+
+
+_FROM_TABLE = re.compile(r"\bfrom\s+([A-Za-z_]\w*)", re.IGNORECASE)
+
+
+def parse_relation(sql: str, name: str = "adhoc"):
+    """Parse one SQL statement straight into an IR relation tree.
+
+    The front half of the IR pipeline: the statement is parsed with
+    :func:`parse_query` and lowered to the canonical unplaced tree
+    (everything on the CPU engine, leaf named after the ``FROM``
+    table). Hand the tree — or the original query — to
+    :meth:`repro.query.processor.Processor.plan` for engine placement.
+
+    >>> print(parse_relation("SELECT SUM(A1) FROM S WHERE A2 > 0"))
+    adhoc:γ[sum(Col(A1))](σ[(Col(A2) > Const(0))](π[A2,A1](S)))
+    """
+    from .processor import relation_from_query
+
+    query = _Parser(sql).parse(name)
+    match = _FROM_TABLE.search(sql)
+    table = match.group(1) if match else "S"
+    return relation_from_query(query, table=table)

@@ -3,8 +3,9 @@
 The serving layer is a discrete-event queueing simulation on top of the
 cycle-level platform model. Rather than re-running the full memory-system
 simulation for every one of thousands of requests, each (tenant,
-template) pair is *profiled once* through the real
-:class:`~repro.query.executor.QueryExecutor`:
+template) pair is *profiled once* through the real IR
+:class:`~repro.query.processor.Processor` (which executes on the same
+measured scan machinery as always):
 
 * ``cold_ns`` — the demand-driven projection + scan with the engine
   freshly pointed at this descriptor (the executor's cold RME run);
@@ -37,7 +38,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..config import PlatformConfig, ZCU102
 from ..core.relmem import RelationalMemorySystem
 from ..errors import ConfigurationError
-from ..query.executor import QueryExecutor
+from ..query.engines import CPU as CPU_ENGINE, RME as RME_ENGINE
+from ..query.processor import Processor
 from ..rme.designs import MLP, DesignParams
 from ..sim.stats import StatSet
 from .workload import TenantSpec
@@ -291,19 +293,29 @@ def _measure_pair(
     system, loaded, evictor, var, platform, spec: TenantSpec,
     template: str, query,
 ) -> QueryProfile:
-    """One pair's cold/hot/direct measurement (shared by both protocols)."""
-    executor = QueryExecutor(system)
+    """One pair's cold/hot/direct measurement (shared by both protocols).
+
+    Both scans go through the relational-algebra IR: the processor plans
+    the canonical RME tree (fetch behind explicit transfers) for the
+    cold/hot pair and the all-CPU tree for the degraded-path baseline,
+    then executes them on the same measured machinery the executor
+    always used — the profile numbers are bit-identical to the pre-IR
+    loop.
+    """
+    processor = Processor(system)
     table = loaded[spec.name]
     columns = [c for c in query.columns()]
     runs = tuple(table.schema.column_runs(columns))
+    rme_plan = processor.plan(query, table, engine=RME_ENGINE)
+    cpu_plan = processor.plan(query, table, engine=CPU_ENGINE)
     system.activate(evictor)  # someone else's descriptor is loaded
-    cold = executor.run_rme(query, var)
-    hot = executor.run_rme(query, var)
+    cold = processor.execute(rme_plan.relation, var=var)
+    hot = processor.execute(rme_plan.relation, var=var)
     if cold.value != hot.value:
         raise ConfigurationError(
             f"cold/hot answers diverged for {spec.name}/{template}"
         )
-    direct = executor.run_direct(query, table)
+    direct = processor.execute(cpu_plan.relation, loaded=table)
     if direct.value != cold.value:
         raise ConfigurationError(
             f"RME answer diverged from direct scan for "
@@ -454,7 +466,6 @@ def profile_workload(
     if buffer_capacity is not None:
         kwargs["buffer_capacity"] = buffer_capacity
     system = RelationalMemorySystem(platform, design, **kwargs)
-    executor = QueryExecutor(system)
     loaded = {t.name: system.load_table(t.table) for t in tenants}
 
     # A dedicated eviction descriptor: activating it between measurements
@@ -478,32 +489,8 @@ def profile_workload(
             var = system.register_var(
                 table, columns, activate=False, allow_noncontiguous=True
             )
-            runs = tuple(table.schema.column_runs(columns))
-            system.activate(evictor)  # someone else's descriptor is loaded
-            cold = executor.run_rme(query, var)
-            hot = executor.run_rme(query, var)
-            if cold.value != hot.value:
-                raise ConfigurationError(
-                    f"cold/hot answers diverged for {spec.name}/{template}"
-                )
-            direct = executor.run_direct(query, table)
-            if direct.value != cold.value:
-                raise ConfigurationError(
-                    f"RME answer diverged from direct scan for "
-                    f"{spec.name}/{template}"
-                )
-            profiles[(spec.name, template)] = QueryProfile(
-                tenant=spec.name,
-                template=template,
-                sql=query.sql,
-                descriptor=(spec.name, runs),
-                columns=tuple(columns),
-                n_rows=table.table.n_rows,
-                program_ns=port_program_ns(platform, var.config),
-                cold_ns=cold.elapsed_ns,
-                hot_ns=hot.elapsed_ns,
-                value=cold.value,
-                direct_ns=direct.elapsed_ns,
+            profiles[(spec.name, template)] = _measure_pair(
+                system, loaded, evictor, var, platform, spec, template, query
             )
     result = WorkloadProfile(
         platform=platform,

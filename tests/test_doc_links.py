@@ -1,0 +1,57 @@
+"""Dead-link check for the documentation set.
+
+Every intra-repo markdown link in ``docs/*.md`` and ``README.md`` must
+resolve to a real file (anchors are stripped; external ``http(s)`` and
+``mailto`` targets are out of scope). CI runs this in the docs job so a
+renamed file cannot silently orphan its references.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+DOC_FILES = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(path):
+    """All (line_number, target) pairs of intra-repo links in a file."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            yield lineno, target
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(doc):
+    dead = []
+    for lineno, target in iter_links(doc):
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            dead.append(f"{doc.name}:{lineno} -> {target}")
+    assert not dead, "dead intra-repo links:\n" + "\n".join(dead)
+
+
+def test_doc_set_is_nonempty():
+    """The glob above must keep finding the documentation set."""
+    names = {p.name for p in DOC_FILES}
+    assert "README.md" in names
+    assert any(p.parent.name == "docs" for p in DOC_FILES)
