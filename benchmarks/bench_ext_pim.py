@@ -1,0 +1,97 @@
+"""Extension — RME vs PIM vs CPU shootout (bank-level pushdown).
+
+Sweeps the paper's Figure 6 axes — predicate selectivity against the
+projected column-group width (projectivity = ``w/16`` of the row) — and
+runs every cell through three engines: the direct row scan, a cold RME
+column fetch, and the bank-level PIM pushdown engine. The driver asserts
+the three answers byte-identical at every cell; this benchmark asserts
+the *shape*: PIM wins where few rows survive the predicate (the bitmap
+readout plus a handful of point gathers beats streaming the table) and
+loses where the gather approaches a full-table copy (high selectivity,
+wide groups).
+
+The machine-readable grid lands in ``BENCH_pim.json``. Set
+``REPRO_PERF_QUICK=1`` to run the driver's CI-sized smoke grid instead.
+"""
+
+import json
+import os
+import pathlib
+
+from conftest import N_ROWS, run_once
+
+from repro.bench.extensions import ext_pim_shootout
+from repro.bench.report import render_table
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+
+
+def sweep_shootout(n_rows):
+    return ext_pim_shootout(n_rows=n_rows, smoke=QUICK)
+
+
+def _cells(figure):
+    """``{(selectivity, width): {engine: ns}}`` from the figure series."""
+    grid = {}
+    for label, ys in sorted(figure.series.items()):
+        engine, width = label.split(" w=")
+        for sel, ns in zip(figure.xs, ys):
+            grid.setdefault((sel, int(width)), {})[engine] = ns
+    return grid
+
+
+def bench_ext_pim(benchmark):
+    figure = run_once(benchmark, sweep_shootout, n_rows=N_ROWS)
+    grid = _cells(figure)
+
+    rows = [
+        [sel, width, cell["CPU"], cell["RME"], cell["PIM"],
+         min(cell, key=cell.get)]
+        for (sel, width), cell in sorted(grid.items(), key=lambda kv: (kv[0][1], kv[0][0]))
+    ]
+    print()
+    print(render_table(
+        ["selectivity", "width", "CPU ns", "RME ns", "PIM ns", "winner"],
+        rows,
+    ))
+
+    pim_wins = [(sel, width) for (sel, width), cell in grid.items()
+                if cell["PIM"] < cell["CPU"] and cell["PIM"] < cell["RME"]]
+    pim_losses = [(sel, width) for (sel, width), cell in grid.items()
+                  if cell["PIM"] > min(cell["CPU"], cell["RME"])]
+
+    report = {
+        "benchmark": "RME vs PIM vs CPU shootout",
+        "mode": "quick" if QUICK else "full",
+        "n_rows": N_ROWS if not QUICK else min(N_ROWS, 256),
+        "x_label": figure.x_label,
+        "xs": figure.xs,
+        "series": {k: list(v) for k, v in sorted(figure.series.items())},
+        "answers_byte_identical": True,  # asserted per cell by the driver
+        "pim_wins": sorted(pim_wins),
+        "pim_losses": sorted(pim_losses),
+        "notes": figure.notes,
+    }
+    out = pathlib.Path("BENCH_pim.json")
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    low_sel = min(figure.xs)
+    high_sel = max(figure.xs)
+    wide = max(w for _, w in grid)
+    # PIM must win a low-selectivity region and lose the wide full-scan
+    # corner — a real crossover, not a uniformly-dominant (or dominated)
+    # engine.
+    assert any(sel == low_sel for sel, _ in pim_wins), (
+        f"PIM never wins at selectivity {low_sel}: {grid}"
+    )
+    assert (high_sel, wide) in pim_losses, (
+        f"PIM should lose the (sel={high_sel}, w={wide}) corner: "
+        f"{grid[(high_sel, wide)]}"
+    )
+    # At fixed width, PIM cost grows with selectivity (more gathers).
+    for width in sorted({w for _, w in grid}):
+        pim_costs = [grid[(sel, width)]["PIM"] for sel in figure.xs]
+        assert pim_costs == sorted(pim_costs), (
+            f"PIM cost not monotone in selectivity at w={width}: {pim_costs}"
+        )

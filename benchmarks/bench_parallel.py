@@ -34,7 +34,9 @@ MIN_CORES_FOR_FLOOR = 4
 
 def _sweep_kwargs():
     if QUICK:
-        return dict(n_rows=512, widths=(1, 4, 16))
+        # Four points: stays above ParallelConfig.inline_below so the
+        # quick mode still exercises the pool it is benchmarking.
+        return dict(n_rows=512, widths=(1, 4, 8, 16))
     return dict(n_rows=2048)
 
 

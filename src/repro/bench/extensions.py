@@ -238,6 +238,109 @@ def ext_noncontiguous_tradeoff(
     )
 
 
+#: Value bound of 4-byte columns in :func:`make_relation` (±bound).
+_PIM_BOUND = 1_000_000
+
+
+def _ext_pim_point(
+    point: Tuple[float, int],
+    n_rows: int,
+    seed: int,
+    platform: PlatformConfig,
+) -> Tuple[float, float, float, float]:
+    """One (selectivity, width) shootout cell: time the same query on the
+    CPU row scan, the RME (cold) and the bank-level PIM engine.
+
+    Each engine gets a fresh system over the identical generated
+    relation; the three answers must be byte-identical (asserted here,
+    and again with crossover checks in ``benchmarks/bench_ext_pim.py``).
+    Returns ``(cpu_ns, rme_ns, pim_ns, measured_selectivity)``.
+    """
+    from ..pim import BankPIM
+
+    target_sel, width = point
+    columns = tuple(f"A{i}" for i in range(1, width + 1))
+    # A1 ~ U(-bound, bound): the threshold that keeps `target_sel` rows.
+    threshold = int(round(-_PIM_BOUND + target_sel * 2 * _PIM_BOUND))
+    query = Query(
+        name=f"pim_s{target_sel:g}_w{width}",
+        sql=f"SELECT {','.join(columns)} FROM s WHERE A1 < {threshold}",
+        select=columns,
+        predicate=Col("A1") < threshold,
+    )
+
+    def fresh():
+        system = _system(platform)
+        return system, system.load_table(make_relation(n_rows, seed=seed))
+
+    system, loaded = fresh()
+    cpu = QueryExecutor(system).run_direct(query, loaded)
+
+    system, loaded = fresh()
+    var = system.register_var(loaded, list(query.columns()),
+                              allow_noncontiguous=True)
+    rme = QueryExecutor(system).run_rme(query, var)
+
+    system, loaded = fresh()
+    pim = BankPIM(system).run(query, loaded)
+
+    if not (cpu.value == rme.value == pim.value):
+        raise AssertionError(
+            f"engine answers diverge at sel={target_sel} width={width}"
+        )
+    return (cpu.elapsed_ns, rme.elapsed_ns, pim.elapsed_ns, cpu.selectivity)
+
+
+def ext_pim_shootout(
+    n_rows: int = 1024,
+    selectivities: Sequence[float] = (0.001, 0.01, 0.1, 0.5, 1.0),
+    widths: Sequence[int] = (1, 4, 8, 16),
+    seed: int = 42,
+    platform: PlatformConfig = ZCU102,
+    jobs: int = 1,
+    smoke: bool = False,
+) -> FigureResult:
+    """RME vs PIM vs CPU over selectivity × projectivity (group width).
+
+    The paper's Figure 6 axes, with the bank-level PIM engine as the
+    third contender: ``SELECT A1..Aw FROM s WHERE A1 < k`` sweeps the
+    predicate threshold (selectivity) against the projected column-group
+    width (projectivity = ``w/16`` of the row). The PIM engine filters
+    at the banks and point-gathers survivors, so it wins when few rows
+    survive and loses when the gather approaches a full-table copy;
+    every cell asserts the three engines' answers byte-identical.
+
+    ``smoke`` shrinks the grid to a CI-sized 2×2 at 256 rows.
+    """
+    if smoke:
+        n_rows = min(n_rows, 256)
+        selectivities = (0.01, 1.0)
+        widths = (1, 8)
+    points = [(sel, width) for width in widths for sel in selectivities]
+    measured = parallel_map(
+        functools.partial(_ext_pim_point, n_rows=n_rows, seed=seed,
+                          platform=platform),
+        points,
+        jobs=jobs,
+    )
+    series: Dict[str, List[float]] = {}
+    for (_, width), (cpu_ns, rme_ns, pim_ns, _sel) in zip(points, measured):
+        series.setdefault(f"CPU w={width}", []).append(cpu_ns)
+        series.setdefault(f"RME w={width}", []).append(rme_ns)
+        series.setdefault(f"PIM w={width}", []).append(pim_ns)
+    return FigureResult(
+        fig_id="Ext: PIM shootout",
+        title=f"RME vs PIM vs CPU, {n_rows} rows "
+              "(selectivity x column-group width)",
+        x_label="selectivity",
+        xs=list(selectivities),
+        series=series,
+        y_label="scan time (ns)",
+        notes="answers asserted byte-identical across engines at every "
+              "cell; projectivity = width/16 of the row",
+    )
+
+
 def _ext_serving_point(
     point: Tuple[float, str],
     tenants: tuple,

@@ -46,7 +46,8 @@ from .bench.report import (
 from .bench.workloads import make_relation
 from .config import ZCU102
 from .core.relmem import RelationalMemorySystem
-from .errors import ConfigurationError, ReproError
+from .errors import ConfigurationError, QueryError, ReproError
+from .query.engines import engine_by_name, engine_names
 from .query.executor import QueryExecutor
 from .query.sql import parse_query
 from .rme.designs import ALL_DESIGNS, design_by_name
@@ -92,6 +93,7 @@ _FIGURES: Dict[str, Callable] = {
         n_rows=max(128, rows // 2)),
     "ext-faults": lambda rows: extension_drivers.ext_faults_sweep(
         n_rows=max(128, rows // 2)),
+    "ext-pim": lambda rows: extension_drivers.ext_pim_shootout(n_rows=rows),
 }
 
 #: Sweeps whose drivers shard across processes; same row scaling as
@@ -107,6 +109,14 @@ _PARALLEL_FIGURES: Dict[str, Callable] = {
         n_rows=max(128, rows // 2), jobs=jobs),
     "ext-faults": lambda rows, jobs: extension_drivers.ext_faults_sweep(
         n_rows=max(128, rows // 2), jobs=jobs),
+    "ext-pim": lambda rows, jobs: extension_drivers.ext_pim_shootout(
+        n_rows=rows, jobs=jobs),
+}
+
+#: Sweeps with a CI-sized ``--smoke`` grid.
+_SMOKE_FIGURES: Dict[str, Callable] = {
+    "ext-pim": lambda rows, jobs: extension_drivers.ext_pim_shootout(
+        n_rows=rows, jobs=jobs, smoke=True),
 }
 
 
@@ -145,9 +155,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="also write xs/series as sorted JSON to PATH "
                             "(byte-comparable across --jobs values)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="run the sweep's CI-sized smoke grid "
+                            f"(supported by {', '.join(_SMOKE_FIGURES)})")
     bench.add_argument("--explain", action="store_true",
                        help="print the engine-annotated IR plan tree for "
                             "the sweep's queries and exit without running")
+    bench.add_argument("--engine", default=None, metavar="NAME",
+                       help="with --explain: pin the plan to one engine "
+                            f"({', '.join(engine_names())}) instead of "
+                            "letting the optimizer choose")
+    bench.add_argument("--sql", default=None, metavar="SQL",
+                       help="with --explain: plan this ad-hoc query instead "
+                            "of the sweep's built-in templates")
 
     query = commands.add_parser("query", help="run an ad-hoc SQL query")
     query.add_argument("sql", help='e.g. "SELECT SUM(A1) FROM S WHERE A2 > 0"')
@@ -243,6 +263,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--explain", action="store_true",
                        help="print each (tenant, template) engine-annotated "
                             "IR plan tree and exit without serving")
+    serve.add_argument("--sql", default=None, metavar="SQL",
+                       help="with --explain: plan this ad-hoc query against "
+                            "each tenant's table instead of the built-in "
+                            "templates")
 
     chaos = commands.add_parser(
         "chaos", help="inject hardware faults and measure recovery")
@@ -320,6 +344,30 @@ def _cmd_figures(args, out) -> int:
     return 0
 
 
+def _parse_sql_or_usage(sql: str, prog: str):
+    """Parse ad-hoc SQL, reporting mistakes as one-line usage errors.
+
+    Malformed SQL, unknown aggregates and unsupported predicates are
+    the caller's typos, not runtime failures — exit code 2, no
+    traceback.
+    """
+    try:
+        return parse_query(sql)
+    except QueryError as exc:
+        raise _UsageError(f"{prog}: {exc}")
+
+
+def _engine_or_usage(name: str, prog: str):
+    """Resolve ``--engine NAME`` against the registry."""
+    try:
+        return engine_by_name(name)
+    except KeyError:
+        raise _UsageError(
+            f"{prog}: unknown engine {name!r} "
+            f"(choose from {', '.join(engine_names())})"
+        )
+
+
 def _bench_explain_queries(name: str):
     """The (label, query) pairs a sweep's points are built from."""
     from .query.queries import q1, q2, q4
@@ -328,6 +376,11 @@ def _bench_explain_queries(name: str):
         return [("project", q1("A3")),
                 ("filter", q2(col="A1", sel_col="A2", k=0)),
                 ("sum", q4("A1"))]
+    if name == "ext-pim":
+        # The shootout's two shapes: a selective filter the banks can
+        # pre-filter, and an aggregate they can fold locally.
+        return [("filter", q2(col="A1", sel_col="A2", k=0)),
+                ("sum", q4("A1"))]
     return [(name, q1())]
 
 
@@ -335,15 +388,35 @@ def _cmd_bench_explain(args, out) -> int:
     """``repro bench NAME --explain``: print IR plans, execute nothing."""
     from .query.processor import Processor
 
+    engine = None
+    if args.engine is not None:
+        engine = _engine_or_usage(args.engine, "repro bench")
+    if args.sql is not None:
+        queries = [("adhoc", _parse_sql_or_usage(args.sql, "repro bench"))]
+    else:
+        queries = _bench_explain_queries(args.name)
     table = make_relation(max(128, min(args.rows, 1024)), seed=42)
+    for _label, query in queries:
+        missing = [c for c in query.columns() if c not in table.schema]
+        if missing:
+            raise _UsageError(
+                f"repro bench: query references {missing}, but the sweep "
+                f"relation has columns A1..A{len(table.schema.columns)}"
+            )
     system = RelationalMemorySystem()
     loaded = system.load_table(table)
     processor = Processor(system)
+    plans = []
+    for label, query in queries:
+        try:
+            plans.append((label, processor.plan(query, loaded, engine=engine)))
+        except QueryError as exc:
+            raise _UsageError(f"repro bench: {exc}")
     print(f"IR plans for sweep {args.name!r} (nothing is executed):", file=out)
-    for label, query in _bench_explain_queries(args.name):
-        plan = processor.plan(query, loaded)
-        print(f"\n[{label}] engine={plan.engine.name}: {plan.choice.reason}",
-              file=out)
+    for label, plan in plans:
+        reason = (plan.choice.reason if plan.choice is not None
+                  else f"pinned via --engine {args.engine}")
+        print(f"\n[{label}] engine={plan.engine.name}: {reason}", file=out)
         print(plan.explain(), file=out)
     return 0
 
@@ -362,8 +435,19 @@ def _cmd_bench(args, out) -> int:
         return 2
     if args.explain:
         return _cmd_bench_explain(args, out)
+    if args.engine is not None or args.sql is not None:
+        raise _UsageError(
+            "repro bench: --engine/--sql only apply with --explain"
+        )
+    if args.smoke and args.name not in _SMOKE_FIGURES:
+        raise _UsageError(
+            f"repro bench: --smoke is only supported for "
+            f"{', '.join(_SMOKE_FIGURES)}"
+        )
     jobs = resolve_jobs(args.jobs)
-    result = _PARALLEL_FIGURES[args.name](args.rows, jobs)
+    driver = _SMOKE_FIGURES[args.name] if args.smoke \
+        else _PARALLEL_FIGURES[args.name]
+    result = driver(args.rows, jobs)
     normalize = "Direct" if args.name == "fig06" else ""
     print(render_figure(result, normalized_to=normalize), file=out)
     print(f"jobs: {jobs}  shards: {len(result.xs)}", file=out)
@@ -381,7 +465,9 @@ def _cmd_bench(args, out) -> int:
 
 
 def _cmd_query(args, out) -> int:
-    query = parse_query(args.sql)
+    from .pim import supports_query
+
+    query = _parse_sql_or_usage(args.sql, "repro query")
     table = make_relation(args.rows, n_cols=args.cols, col_width=args.width,
                           seed=args.seed)
     missing = [c for c in query.columns() if c not in table.schema]
@@ -414,6 +500,13 @@ def _cmd_query(args, out) -> int:
         ["RME cold", round(cold.elapsed_ns), cold.elapsed_ns / direct.elapsed_ns],
         ["RME hot", round(hot.elapsed_ns), hot.elapsed_ns / direct.elapsed_ns],
     ]
+    reason = supports_query(query)
+    if not reason:
+        pim = executor.run_pim(query, loaded)
+        rows.append(["PIM pushdown", round(pim.elapsed_ns),
+                     pim.elapsed_ns / direct.elapsed_ns])
+    else:
+        rows.append(["PIM pushdown", f"n/a ({reason})", "-"])
     print(render_table(["access path", "simulated ns", "vs direct"], rows),
           file=out)
     return 0
@@ -424,7 +517,7 @@ def _adhoc_rme_run(args, out):
 
     Returns ``(system, result)`` or ``None`` after printing a usage error.
     """
-    query = parse_query(args.sql)
+    query = _parse_sql_or_usage(args.sql, "repro stats")
     table = make_relation(args.rows, n_cols=args.cols, col_width=args.width,
                           seed=args.seed)
     missing = [c for c in query.columns() if c not in table.schema]
@@ -446,7 +539,7 @@ def _adhoc_rme_run(args, out):
 def _cmd_trace(args, out) -> int:
     # Mirrors _adhoc_rme_run, but the tracer must attach between system
     # construction and the first access, so the setup is inlined here.
-    query = parse_query(args.sql)
+    query = _parse_sql_or_usage(args.sql, "repro trace")
     table = make_relation(args.rows, n_cols=args.cols, col_width=args.width,
                           seed=args.seed)
     missing = [c for c in query.columns() if c not in table.schema]
@@ -541,10 +634,24 @@ def _cmd_serve_explain(args, tenants, out) -> int:
     system = RelationalMemorySystem(platform, design)
     loaded = {t.name: system.load_table(t.table) for t in tenants}
     processor = Processor(system)
+    adhoc = None
+    if args.sql is not None:
+        adhoc = _parse_sql_or_usage(args.sql, "repro serve")
+        for spec in tenants:
+            missing = [c for c in adhoc.columns()
+                       if c not in loaded[spec.name].schema]
+            if missing:
+                raise _UsageError(
+                    f"repro serve: query references {missing}, but tenant "
+                    f"{spec.name!r} has columns "
+                    f"{', '.join(loaded[spec.name].schema.names)}"
+                )
     print("IR plans per (tenant, template); serving executes the RME tree "
           "and re-roots onto @degraded on unrecoverable faults:", file=out)
     for spec in tenants:
-        for template, query in spec.templates:
+        templates = ([("adhoc", adhoc)] if adhoc is not None
+                     else list(spec.templates))
+        for template, query in templates:
             plan = processor.plan(query, loaded[spec.name], engine=RME)
             print(f"\n[{spec.name}/{template}]", file=out)
             print(plan.explain(), file=out)
@@ -768,9 +875,14 @@ def _cmd_info(_args, out) -> int:
 
 
 def _usage_tip(exc: "_UsageError") -> str:
-    """Extra pointer for bench/serve mistakes: the IR plan-dump flag."""
+    """Extra pointer for bench/serve mistakes: the IR plan-dump flag.
+
+    The engine list comes from the registry, so new engines show up
+    here without touching the CLI.
+    """
     if str(exc).startswith(("repro bench", "repro serve")):
-        return "; --explain previews the engine-annotated IR plan"
+        return ("; --explain previews the engine-annotated IR plan "
+                f"(engines: {', '.join(engine_names())})")
     return ""
 
 

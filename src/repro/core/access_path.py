@@ -12,6 +12,10 @@
 * ``INDEX`` — probe a B+-tree on the row-store and fetch only the
   qualifying rows (Section 4: indexes stay useful "when we have a very
   selective query").
+* ``PIM`` — evaluate the predicate inside the DRAM banks themselves
+  (bank-level processing-in-memory): each bank filters its local rows
+  into a selection bitmap and only bitmaps or aggregate register lines
+  cross the AXI boundary. The fourth peer of the shootout.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ class AccessPath(Enum):
     COLUMNAR = "columnar"
     RME = "rme"
     INDEX = "index"
+    PIM = "pim"
 
     @property
     def label(self) -> str:
@@ -34,4 +39,5 @@ class AccessPath(Enum):
             AccessPath.COLUMNAR: "Columnar (materialised copy)",
             AccessPath.RME: "Relational Memory",
             AccessPath.INDEX: "B+-tree index probe",
+            AccessPath.PIM: "Bank-level PIM pushdown",
         }[self]

@@ -1,0 +1,43 @@
+"""Bank-level processing-in-memory engine (``@pim``).
+
+The third execution engine of the shootout: predicates evaluate *inside*
+DRAM banks (Membrane-style in-bank comparators producing selection
+bitmaps, combined with bulk bitwise AND/OR), aggregates fold into an
+in-bank accumulator, and only bitmaps or register lines cross the AXI
+boundary. See ``docs/pim.md`` for the design and the cost model's
+derivation.
+"""
+
+from .bank import BankLayout, BankSlice
+from .bitmap import SelectionBitmap
+from .cost import (
+    RESULT_LINE_BYTES,
+    PIMCostModel,
+    estimate_query_ns,
+    expected_pages_touched,
+)
+from .engine import BankPIM, PIMExecution
+from .predicate import (
+    PimUnsupportedError,
+    PredicateProgram,
+    PredicateSpec,
+    predicate_spec,
+    supports_query,
+)
+
+__all__ = [
+    "BankLayout",
+    "BankSlice",
+    "SelectionBitmap",
+    "RESULT_LINE_BYTES",
+    "PIMCostModel",
+    "estimate_query_ns",
+    "expected_pages_touched",
+    "BankPIM",
+    "PIMExecution",
+    "PimUnsupportedError",
+    "PredicateProgram",
+    "PredicateSpec",
+    "predicate_spec",
+    "supports_query",
+]

@@ -1,0 +1,91 @@
+"""Bank geometry: how a loaded row table shards across DRAM banks.
+
+The PIM engine computes *where the data already is*: each DRAM bank owns
+the rows whose bytes live in its arrays, so the unit of parallelism is
+fixed by the same address mapping the timing model uses
+(:meth:`repro.memsys.dram.DRAM.locate` — page-interleaved,
+``bank = (addr // row_buffer_bytes) % n_banks``). This module partitions
+a loaded table's row ids into per-bank slices with that exact mapping,
+so the cost model's activation counts and the banks' local bitmaps line
+up with the memory system the rest of the simulator prices.
+
+A row that straddles a page boundary is assigned to the bank of its
+first byte; the spill into the neighbouring page is folded into that
+slice's activation count rather than modelled as a cross-bank handoff
+(the in-bank sequencer reads the straddling beats through the shared
+array interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import DRAMTimings
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BankSlice:
+    """One bank's share of a table: its rows and the pages they occupy."""
+
+    bank: int
+    row_ids: Tuple[int, ...]
+    n_pages: int  #: distinct DRAM pages the slice's rows start in
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.row_ids)
+
+
+class BankLayout:
+    """The per-bank partition of one loaded table's rows.
+
+    >>> from repro.config import DRAMTimings
+    >>> layout = BankLayout(0, 64, 256, DRAMTimings())
+    >>> [s.n_rows for s in layout.slices]
+    [32, 32, 32, 32, 32, 32, 32, 32]
+    >>> sorted(r for s in layout.slices for r in s.row_ids) == list(range(256))
+    True
+    """
+
+    def __init__(self, base_addr: int, row_size: int, n_rows: int,
+                 timings: DRAMTimings):
+        if row_size <= 0:
+            raise ConfigurationError("rows must be at least one byte wide")
+        if n_rows < 0:
+            raise ConfigurationError("row count cannot be negative")
+        self.base_addr = base_addr
+        self.row_size = row_size
+        self.n_rows = n_rows
+        self.timings = timings
+        page = timings.row_buffer_bytes
+        rows: Dict[int, List[int]] = {}
+        pages: Dict[int, set] = {}
+        for row_id in range(n_rows):
+            block = (base_addr + row_id * row_size) // page
+            bank = block % timings.n_banks
+            rows.setdefault(bank, []).append(row_id)
+            pages.setdefault(bank, set()).add(block)
+        self.slices: Tuple[BankSlice, ...] = tuple(
+            BankSlice(bank, tuple(rows[bank]), len(pages[bank]))
+            for bank in sorted(rows)
+        )
+
+    @property
+    def n_banks(self) -> int:
+        """Banks that actually hold rows of this table."""
+        return len(self.slices)
+
+    @property
+    def pages_total(self) -> int:
+        return sum(s.n_pages for s in self.slices)
+
+    def page_of(self, row_id: int) -> int:
+        """The global DRAM page (block) index a row starts in."""
+        if not 0 <= row_id < self.n_rows:
+            raise ConfigurationError(
+                f"row {row_id} outside table of {self.n_rows} rows"
+            )
+        return (self.base_addr + row_id * self.row_size) \
+            // self.timings.row_buffer_bytes

@@ -1,0 +1,126 @@
+"""Selection bitmaps: the result format of in-bank predicate evaluation.
+
+A bank-level PIM filter (Membrane-style) never moves rows toward the
+CPU while filtering — each bank evaluates one comparator over its local
+rows and materialises the verdicts as a *selection bitmap*, one bit per
+row in physical row order. Compound predicates combine those per-
+comparator bitmaps with bulk bitwise AND/OR inside the bank, and only
+the final bitmap (``n_rows / 8`` bytes) crosses the AXI boundary.
+
+The bitmap here is an arbitrary-precision integer under the hood, which
+makes the bulk combine operators one-line and exact, and keeps
+``count``/``to_bytes`` cheap for the cost model's readout pricing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import ConfigurationError
+
+
+class SelectionBitmap:
+    """One bit per row, little-endian bit order (bit ``i`` = row ``i``)."""
+
+    __slots__ = ("n_rows", "bits")
+
+    def __init__(self, n_rows: int, bits: int = 0):
+        if n_rows < 0:
+            raise ConfigurationError("a bitmap cannot cover negative rows")
+        self.n_rows = n_rows
+        self.bits = bits & self._mask(n_rows)
+
+    @staticmethod
+    def _mask(n_rows: int) -> int:
+        return (1 << n_rows) - 1
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n_rows: int) -> "SelectionBitmap":
+        return cls(n_rows, 0)
+
+    @classmethod
+    def ones(cls, n_rows: int) -> "SelectionBitmap":
+        return cls(n_rows, cls._mask(n_rows))
+
+    @classmethod
+    def from_bools(cls, n_rows: int, flags: Iterable[bool]) -> "SelectionBitmap":
+        bits = 0
+        for index, flag in enumerate(flags):
+            if flag:
+                bits |= 1 << index
+        return cls(n_rows, bits)
+
+    @classmethod
+    def from_indices(cls, n_rows: int, indices: Iterable[int]) -> "SelectionBitmap":
+        bits = 0
+        for index in indices:
+            if not 0 <= index < n_rows:
+                raise ConfigurationError(
+                    f"row {index} outside bitmap of {n_rows} rows"
+                )
+            bits |= 1 << index
+        return cls(n_rows, bits)
+
+    # -- bulk combining ----------------------------------------------------------
+    def _check_peer(self, other: "SelectionBitmap") -> None:
+        if self.n_rows != other.n_rows:
+            raise ConfigurationError(
+                f"cannot combine bitmaps of {self.n_rows} and "
+                f"{other.n_rows} rows"
+            )
+
+    def __and__(self, other: "SelectionBitmap") -> "SelectionBitmap":
+        self._check_peer(other)
+        return SelectionBitmap(self.n_rows, self.bits & other.bits)
+
+    def __or__(self, other: "SelectionBitmap") -> "SelectionBitmap":
+        self._check_peer(other)
+        return SelectionBitmap(self.n_rows, self.bits | other.bits)
+
+    def __invert__(self) -> "SelectionBitmap":
+        return SelectionBitmap(self.n_rows, ~self.bits)
+
+    # -- reading -----------------------------------------------------------------
+    def get(self, index: int) -> bool:
+        return bool((self.bits >> index) & 1)
+
+    def count(self) -> int:
+        """Popcount: how many rows matched."""
+        return bin(self.bits).count("1")
+
+    def indices(self) -> Iterator[int]:
+        """Set row indices, ascending."""
+        bits = self.bits
+        index = 0
+        while bits:
+            if bits & 1:
+                yield index
+            bits >>= 1
+            index += 1
+
+    @property
+    def nbytes(self) -> int:
+        """Packed size: what a bitmap readout actually moves."""
+        return (self.n_rows + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        return self.bits.to_bytes(max(1, self.nbytes), "little")
+
+    def words(self, word_bytes: int) -> int:
+        """How many ``word_bytes``-wide ALU words one bulk op touches."""
+        if word_bytes <= 0:
+            raise ConfigurationError("word width must be positive")
+        return max(1, -(-self.n_rows // (8 * word_bytes)))
+
+    # -- comparisons -------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SelectionBitmap):
+            return NotImplemented
+        return self.n_rows == other.n_rows and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.n_rows, self.bits))
+
+    def __repr__(self) -> str:
+        return f"SelectionBitmap({self.count()}/{self.n_rows})"

@@ -1,0 +1,163 @@
+"""Cycle-level cost model for the bank-level PIM engine.
+
+Every term is priced from the same constants the rest of the simulator
+uses (:class:`repro.config.DRAMTimings` for the banks,
+:class:`repro.config.PlatformConfig` for the AXI/PL boundary), so PIM
+numbers are directly comparable to the measured CPU and RME paths:
+
+* **Bank activation** — each DRAM page a bank's slice occupies is opened
+  once per scan (``t_rp + t_rcd``), exactly the open/close cost the
+  timing model charges a row-buffer miss.
+* **In-bank op latency** — with a page open, the bank sequencer streams
+  rows under the sense amplifiers at the column-to-column cadence: one
+  ``t_ccd`` per comparator pass per row (the comparator is as wide as a
+  column field, which never exceeds one ``bus_bytes`` beat), and one
+  ``t_ccd`` per ``bus_bytes``-wide word per bulk bitmap AND/OR.
+* **Result readout over AXI** — the final bitmap (``n_rows/8`` bytes) or
+  a 64-byte aggregate register line crosses the PL boundary: a CDC
+  penalty each way plus one PL cycle per AXI beat, mirroring how the RME
+  prices its register traffic.
+* **CPU gather** — for selection + projection queries the CPU still
+  fetches the matching rows from DRAM by row id: each touched page is
+  re-opened once and every match pays first-beat latency plus its data
+  beats plus the core's per-miss issue cost. This is the term that makes
+  PIM *lose* at high selectivity × wide projections — the gather is
+  point access, not a stream.
+
+Banks operate concurrently, so a scan's filter time is the slowest
+bank's time, not the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DRAMTimings, PlatformConfig
+
+#: Bytes of the in-bank result register line an aggregate readout moves.
+RESULT_LINE_BYTES = 64
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class PIMCostModel:
+    """Closed-form timing for one PIM scan, bound to a platform."""
+
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    #: Register writes that program one scan (comparators, combine tree,
+    #: accumulator opcode, result address) — the PIM analogue of the
+    #: RME's four-register configuration port.
+    config_regs: int = 4
+
+    @property
+    def dram(self) -> DRAMTimings:
+        return self.platform.dram
+
+    # -- per-phase terms ---------------------------------------------------------
+    def setup_ns(self) -> float:
+        """Program the bank sequencers over the AXI configuration port."""
+        p = self.platform
+        return 2 * p.cdc_ns + (p.pl_txn_overhead_cycles
+                               + self.config_regs) * p.pl_cycle_ns
+
+    def bank_scan_ns(self, n_pages: int, n_rows: int, n_compare: int) -> float:
+        """One bank's comparator pass over its local rows."""
+        d = self.dram
+        passes = max(1, n_compare)  # an aggregate-only scan still reads rows
+        return n_pages * (d.t_rp + d.t_rcd) + n_rows * passes * d.t_ccd
+
+    def combine_ns(self, n_rows: int, n_combine: int) -> float:
+        """Bulk bitwise AND/OR over a bank's bitmap words."""
+        d = self.dram
+        words = max(1, _ceil_div(n_rows, 8 * d.bus_bytes))
+        return n_combine * words * d.t_ccd
+
+    def accumulate_ns(self, n_matches: int, field_width: int) -> float:
+        """Feed matching rows' fields into the in-bank accumulator."""
+        d = self.dram
+        return n_matches * max(1, _ceil_div(field_width, d.bus_bytes)) * d.t_ccd
+
+    def readout_ns(self, n_bytes: int) -> float:
+        """Move a result (bitmap or register line) across the AXI port."""
+        p = self.platform
+        beats = max(1, _ceil_div(n_bytes, p.axi_bus_bytes))
+        return (2 * p.cdc_ns + p.pl_txn_overhead_cycles * p.pl_cycle_ns
+                + beats * p.pl_cycle_ns)
+
+    def gather_ns(self, n_pages: int, n_matches: int, group_width: int,
+                  per_row_ns: float = 0.0) -> float:
+        """CPU point-fetches of the matching rows' projected bytes."""
+        if n_matches <= 0:
+            return 0.0
+        d, p = self.dram, self.platform
+        beats = max(1, _ceil_div(group_width, d.bus_bytes))
+        opens = n_pages * (d.t_rp + d.t_rcd)
+        per_match = (d.t_controller + d.t_cas + beats * d.t_beat
+                     + p.l1_miss_issue_ns + per_row_ns)
+        return opens + n_matches * per_match
+
+
+def expected_pages_touched(n_pages: int, n_matches: int) -> float:
+    """Expected distinct pages ``n_matches`` uniform rows land in.
+
+    The standard occupancy estimate ``P * (1 - (1 - 1/P)^m)`` — used by
+    the *planner* when no bitmap exists yet; the executed scan uses the
+    actual page set of the actual matches.
+    """
+    if n_pages <= 0 or n_matches <= 0:
+        return 0.0
+    return n_pages * (1.0 - (1.0 - 1.0 / n_pages) ** n_matches)
+
+
+def estimate_query_ns(
+    query,
+    schema,
+    n_rows: int,
+    selectivity: float = 1.0,
+    model: PIMCostModel = None,
+) -> float:
+    """The planner's closed-form PIM estimate for an eligible query.
+
+    Raises :class:`~repro.pim.predicate.PimUnsupportedError` (via the
+    spec pass) when the query cannot be lowered; callers gate on
+    :func:`repro.pim.predicate.supports_query` first.
+    """
+    from .predicate import predicate_spec
+
+    model = model or PIMCostModel()
+    d = model.dram
+    rows_per_bank = _ceil_div(n_rows, d.n_banks) if n_rows else 0
+    rows_per_page = max(1, d.row_buffer_bytes // schema.row_size)
+    pages_per_bank = _ceil_div(rows_per_bank, rows_per_page) if n_rows else 0
+
+    n_compare = n_combine = 0
+    if query.predicate is not None:
+        spec = predicate_spec(query.predicate)
+        n_compare, n_combine = spec.n_compare, spec.n_combine
+
+    total = model.setup_ns()
+    total += model.bank_scan_ns(pages_per_bank, rows_per_bank, n_compare)
+    total += model.combine_ns(rows_per_bank, n_combine)
+    matches = int(round(selectivity * n_rows))
+
+    if query.aggregate is not None:
+        if query.aggregate == "count":
+            field_width = 0  # the bitmap popcount is the answer
+        else:
+            field_width = schema.column(query.agg_expr.name).size
+            total += model.accumulate_ns(
+                _ceil_div(matches, d.n_banks) if matches else 0, field_width
+            )
+        total += model.readout_ns(RESULT_LINE_BYTES)
+        return total
+
+    total += model.readout_ns(max(1, _ceil_div(n_rows, 8)))
+    _offset, group_width = schema.covering_group(query.select)
+    pages_total = _ceil_div(n_rows, rows_per_page) if n_rows else 0
+    pages_touched = expected_pages_touched(pages_total, matches)
+    total += model.gather_ns(int(round(pages_touched)), matches, group_width,
+                             query.work_cost_ns())
+    return total

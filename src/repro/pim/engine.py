@@ -1,0 +1,222 @@
+"""The bank-level PIM device: filter, combine and aggregate in DRAM.
+
+:class:`BankPIM` is the execution engine behind the ``@pim`` engine
+identity (:data:`repro.query.engines.PIM`). One run:
+
+1. partitions the loaded table across DRAM banks with the timing
+   model's own address mapping (:class:`repro.pim.bank.BankLayout`);
+2. evaluates the predicate's comparator program over each bank's rows,
+   producing per-bank :class:`~repro.pim.bitmap.SelectionBitmap`\\ s and
+   combining them with bulk bitwise AND/OR
+   (:class:`~repro.pim.predicate.PredicateProgram`);
+3. either feeds the matching rows' fields into the in-bank accumulator
+   (COUNT/SUM/MIN/MAX — the answer leaves DRAM as one register line) or
+   ships the merged bitmap to the CPU, which gathers the matching rows
+   and materialises the projection.
+
+Answers are computed from the table's actual packed bytes through the
+same little-endian-signed field semantics as
+:class:`repro.rme.pushdown.HWSelection` — the shared pushdown surface —
+so they are byte-identical to the software operators by construction
+(the shootout benchmark asserts it).
+
+Fault injection hooks the same ``dram_bitflip`` plans as the memory
+model: a severity-1 event is corrected by the in-bank ECC and counted;
+anything stronger poisons the scan's bitmap and raises
+:class:`~repro.errors.FaultError` — the executor then degrades to the
+CPU row scan and the processor re-roots the subtree onto ``@degraded``,
+exactly like the RME path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import FaultError, QueryError
+from .bank import BankLayout
+from .bitmap import SelectionBitmap
+from .cost import RESULT_LINE_BYTES, PIMCostModel
+from .predicate import PredicateProgram, predicate_spec, supports_query
+
+
+@dataclass(frozen=True)
+class PIMExecution:
+    """Everything one PIM scan produced, answer and bill."""
+
+    value: Any
+    n_rows: int
+    matches: int
+    elapsed_ns: float
+    bitmap: SelectionBitmap
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def selectivity(self) -> float:
+        return self.matches / self.n_rows if self.n_rows else 0.0
+
+
+class BankPIM:
+    """The per-system PIM device (one per
+    :class:`~repro.core.relmem.RelationalMemorySystem`)."""
+
+    def __init__(self, system):
+        self.system = system
+        self.model = PIMCostModel(system.platform)
+        #: Simulated ns burnt by the most recent faulted scan — the
+        #: executor adds it to the degraded fallback's bill.
+        self.last_wasted_ns = 0.0
+
+    # -- plumbing ----------------------------------------------------------------
+    def _check_eligible(self, query, loaded) -> None:
+        reason = supports_query(query)
+        if reason:
+            raise QueryError(f"{query.name}: not PIM-evaluable: {reason}")
+        if loaded.versioned is not None:
+            raise QueryError(
+                f"{query.name}: PIM scans physical rows and cannot apply "
+                "MVCC visibility; versioned tables are not PIM-eligible"
+            )
+        schema = loaded.schema
+        for column in query.columns():
+            if column not in schema:
+                raise QueryError(
+                    f"{query.name}: unknown column {column!r} "
+                    f"(table has {schema.names})"
+                )
+
+    def _field_of(self, schema, column: str) -> Tuple[int, int]:
+        col = schema.column(column)
+        if not col.ctype.fmt:
+            raise QueryError(
+                f"column {column!r} is a raw byte string; the in-bank "
+                "datapath is integer-only"
+            )
+        return schema.offset_of(column), col.size
+
+    def _draw_fault(self, bank: int, table_name: str, wasted_ns: float) -> None:
+        faults = self.system.faults
+        if faults is None:
+            return
+        event = faults.draw("dram_bitflip", self.system.sim.now)
+        if event is None:
+            return
+        if event.severity <= 1:
+            faults.stats.bump("pim_corrected")
+            return
+        faults.stats.bump("pim_uncorrectable")
+        self.last_wasted_ns = wasted_ns
+        self._advance_clock(wasted_ns)
+        raise FaultError(
+            f"uncorrectable {event.severity}-bit flip in DRAM bank {bank} "
+            f"poisoned the PIM bitmap for {table_name!r}"
+        )
+
+    def _advance_clock(self, elapsed_ns: float) -> None:
+        """Move simulated time forward by a closed-form scan's duration,
+        so fault plans and later measurements see the PIM run happen."""
+        if elapsed_ns > 0:
+            sim = self.system.sim
+            sim.schedule(elapsed_ns, lambda _arg: None)
+            sim.run()
+
+    # -- the scan ----------------------------------------------------------------
+    def run(self, query, loaded) -> PIMExecution:
+        """Execute one eligible query entirely at the banks."""
+        self._check_eligible(query, loaded)
+        self.last_wasted_ns = 0.0
+        schema = loaded.schema
+        n_rows = loaded.table.n_rows
+        row_size = schema.row_size
+        raw = loaded.table.raw_bytes()
+        layout = BankLayout(loaded.base_addr, row_size, n_rows, self.model.dram)
+
+        program: Optional[PredicateProgram] = None
+        if query.predicate is not None:
+            program = predicate_spec(query.predicate).bind(schema)
+
+        agg_field: Optional[Tuple[int, int]] = None
+        if query.aggregate not in (None, "count"):
+            agg_field = self._field_of(schema, query.agg_expr.name)
+
+        setup = self.model.setup_ns()
+        breakdown: Dict[str, float] = {"setup_ns": setup}
+        bank_ns: List[float] = []
+        matched: List[int] = []
+        for bank_slice in layout.slices:
+            rows = [raw[r * row_size:(r + 1) * row_size]
+                    for r in bank_slice.row_ids]
+            if program is None:
+                local = SelectionBitmap.ones(len(rows))
+                elapsed = self.model.bank_scan_ns(
+                    bank_slice.n_pages, len(rows), 0
+                )
+            else:
+                local = program.run(rows)
+                elapsed = self.model.bank_scan_ns(
+                    bank_slice.n_pages, len(rows), program.n_compare
+                ) + self.model.combine_ns(len(rows), program.n_combine)
+            if agg_field is not None:
+                elapsed += self.model.accumulate_ns(local.count(), agg_field[1])
+            # The bank's ECC check closes its scan; an uncorrectable flip
+            # surfaces here, after this bank's work is already spent.
+            self._draw_fault(bank_slice.bank, loaded.name, setup + elapsed)
+            bank_ns.append(elapsed)
+            matched.extend(bank_slice.row_ids[i] for i in local.indices())
+
+        matched.sort()
+        bitmap = SelectionBitmap.from_indices(n_rows, matched)
+        matches = len(matched)
+        # Banks scan concurrently: the filter phase ends with the slowest.
+        filter_ns = max(bank_ns) if bank_ns else 0.0
+        breakdown["filter_ns"] = filter_ns
+        total = setup + filter_ns
+
+        if query.aggregate is not None:
+            value = self._aggregate_value(query, raw, row_size, matched,
+                                          agg_field)
+            readout = self.model.readout_ns(RESULT_LINE_BYTES)
+        else:
+            value = self._gather_value(query, schema, raw, row_size, matched)
+            readout = self.model.readout_ns(max(1, bitmap.nbytes))
+            pages = len({layout.page_of(r) for r in matched})
+            gather = self.model.gather_ns(pages, matches,
+                                          schema.covering_group(query.select)[1],
+                                          query.work_cost_ns())
+            breakdown["gather_ns"] = gather
+            total += gather
+        breakdown["readout_ns"] = readout
+        total += readout
+        self._advance_clock(total)
+        return PIMExecution(value=value, n_rows=n_rows, matches=matches,
+                            elapsed_ns=total, bitmap=bitmap,
+                            breakdown=breakdown)
+
+    # -- answers -----------------------------------------------------------------
+    @staticmethod
+    def _aggregate_value(query, raw: bytes, row_size: int,
+                         matched: List[int],
+                         agg_field: Optional[Tuple[int, int]]):
+        from ..query import ops
+
+        if query.aggregate == "count":
+            return len(matched)
+        offset, width = agg_field
+        values = [
+            int.from_bytes(
+                raw[r * row_size + offset:r * row_size + offset + width],
+                "little", signed=True,
+            )
+            for r in matched
+        ]
+        return ops.aggregate(query.aggregate, values)
+
+    @staticmethod
+    def _gather_value(query, schema, raw: bytes, row_size: int,
+                      matched: List[int]):
+        indices = [schema.index_of(c) for c in query.select]
+        rows = []
+        for r in matched:
+            unpacked = schema.unpack_row(raw[r * row_size:(r + 1) * row_size])
+            rows.append(tuple(unpacked[i] for i in indices))
+        return rows

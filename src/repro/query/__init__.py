@@ -24,14 +24,19 @@ from .engines import (
     COLUMNAR,
     CPU,
     DEGRADED,
+    ENGINES,
     INDEX,
+    PIM,
     RME,
     ColumnarEngine,
     CpuEngine,
     DegradedEngine,
     Engine,
     IndexEngine,
+    PimEngine,
     RmeEngine,
+    engine_by_name,
+    engine_names,
 )
 from .expr import BinOp, Col, Const, Expr
 from .executor import QueryExecutor, QueryResult
@@ -83,6 +88,7 @@ __all__ = [
     "CpuEngine",
     "DEGRADED",
     "DegradedEngine",
+    "ENGINES",
     "Engine",
     "ExecutionPlan",
     "ExecutionReport",
@@ -92,6 +98,8 @@ __all__ = [
     "Join",
     "Label",
     "LeafRelation",
+    "PIM",
+    "PimEngine",
     "Processor",
     "Projection",
     "Query",
@@ -105,6 +113,8 @@ __all__ = [
     "Selection",
     "Transfer",
     "choose_access_path",
+    "engine_by_name",
+    "engine_names",
     "explain_placement",
     "parse_query",
     "parse_relation",

@@ -5,7 +5,7 @@ frozen, hashable objects identifying which subsystem holds (or can
 compute) each subtree's rows — and :class:`~repro.query.relation
 .Transfer` nodes mark the boundaries where rows move between them.
 
-The reproduction ships four peer engines plus the fault-recovery one:
+The reproduction ships five peer engines plus the fault-recovery one:
 
 * :data:`CPU` — the row-store scan path: the CPU walks the base table
   in DRAM at row stride (the paper's Direct Access);
@@ -15,12 +15,16 @@ The reproduction ships four peer engines plus the fault-recovery one:
 * :data:`COLUMNAR` — a materialised column-store copy in DRAM (the
   Columnar baseline: packed, but somebody pays to maintain it);
 * :data:`INDEX` — a B+-tree probe fetching only qualifying rows;
+* :data:`PIM` — bank-level processing-in-memory: predicates evaluate
+  inside the DRAM banks as selection bitmaps and aggregates fold into
+  in-bank accumulators, so only bitmaps or register lines cross the
+  AXI boundary (see :mod:`repro.pim`);
 * :data:`DEGRADED` — the CPU row scan *as a fallback*: the engine a
   subtree is re-rooted onto when an unrecoverable ``FaultError``
-  escapes the RME (see :mod:`repro.faults.recovery`).
+  escapes the RME or the PIM banks (see :mod:`repro.faults.recovery`).
 
-New backends (the ROADMAP's bank-level PIM pushdown, hybrid placement)
-slot in as further ``Engine`` subclasses; the planner and
+New backends slot in as further ``Engine`` subclasses registered in
+:data:`ENGINES`; the planner, the CLI's engine flags/usage errors and
 ``--explain`` output pick them up through the same interface.
 
 >>> CPU.name, RME.name
@@ -148,6 +152,25 @@ class IndexEngine(Engine):
 
 
 @dataclass(frozen=True)
+class PimEngine(Engine):
+    """Bank-level processing-in-memory: filter/aggregate at the banks.
+
+    >>> PimEngine().access_path.name
+    'PIM'
+    """
+
+    @property
+    def name(self) -> str:
+        """``pim``."""
+        return "pim"
+
+    @property
+    def access_path(self) -> AccessPath:
+        """The in-bank pushdown path."""
+        return AccessPath.PIM
+
+
+@dataclass(frozen=True)
 class DegradedEngine(Engine):
     """The CPU row scan as a fault-recovery fallback.
 
@@ -176,7 +199,38 @@ CPU = CpuEngine()
 RME = RmeEngine()
 COLUMNAR = ColumnarEngine()
 INDEX = IndexEngine()
+PIM = PimEngine()
 DEGRADED = DegradedEngine()
 
 #: Every planner-eligible engine, in display order.
-ALL_ENGINES = (CPU, RME, COLUMNAR, INDEX)
+ALL_ENGINES = (CPU, RME, COLUMNAR, INDEX, PIM)
+
+#: Name → engine registry: the single source the CLI derives its
+#: ``--engine`` choices, usage errors and ``--explain`` listings from.
+#: ``degraded`` is present (plans mention it) but never planner-chosen.
+ENGINES = {engine.name: engine for engine in ALL_ENGINES + (DEGRADED,)}
+
+
+def engine_names(planner_only: bool = True):
+    """Engine names in display order, for CLI listings.
+
+    >>> engine_names()
+    ('cpu', 'rme', 'columnar', 'index', 'pim')
+    """
+    pool = ALL_ENGINES if planner_only else ALL_ENGINES + (DEGRADED,)
+    return tuple(engine.name for engine in pool)
+
+
+def engine_by_name(name: str) -> Engine:
+    """Resolve an engine tag, raising with the valid list on a miss.
+
+    >>> engine_by_name("pim").access_path.name
+    'PIM'
+    """
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {name!r} (choose from "
+            f"{', '.join(engine_names())})"
+        ) from None

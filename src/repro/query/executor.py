@@ -63,6 +63,8 @@ class QueryExecutor:
 
     def __init__(self, system: RelationalMemorySystem):
         self.system = system
+        #: Lazily-built :class:`repro.pim.BankPIM` device for run_pim.
+        self._pim = None
 
     # -- public entry points ------------------------------------------------------
     def run_direct(
@@ -164,6 +166,48 @@ class QueryExecutor:
             return audited
         return self._result(query, AccessPath.RME, value, elapsed,
                             n_rows, selectivity, state)
+
+    def run_pim(
+        self, query: Query, loaded: LoadedTable, flush: bool = True
+    ) -> QueryResult:
+        """Evaluate the query inside the DRAM banks (bank-level PIM).
+
+        Selection compiles onto the in-bank comparator array, aggregation
+        onto the in-bank accumulator; only the merged selection bitmap or
+        an aggregate register line crosses the AXI boundary, plus — for
+        projection queries — the CPU's point-gather of the matching rows.
+        The fault contract mirrors :meth:`run_rme`: an unrecoverable
+        in-bank fault keeps its wasted simulated time on the bill, and
+        (policy permitting) the answer is recomputed by a direct CPU
+        re-scan with state ``"degraded"``.
+        """
+        from ..pim import BankPIM
+
+        if self._pim is None or self._pim.system is not self.system:
+            self._pim = BankPIM(self.system)
+        device = self._pim
+        if flush:
+            self.system.flush_caches()
+        self.system.reset_stats()
+        faults = self.system.faults
+        try:
+            execution = device.run(query, loaded)
+        except FaultError as error:
+            faults.stats.bump("pim_faults")
+            faults.stats.bump("wasted_ns", device.last_wasted_ns)
+            faults.stats.bump(f"fault_{type(error).__name__}")
+            self._drain_fault_wreckage()
+            if not faults.recovery.cpu_fallback:
+                raise
+            faults.stats.bump("cpu_fallbacks")
+            value, selectivity, n_rows = self._answer(query, loaded)
+            rescan = self._fallback_rescan_ns(query, loaded, selectivity)
+            return self._result(query, AccessPath.DIRECT_ROW, value,
+                                device.last_wasted_ns + rescan, n_rows,
+                                selectivity, "degraded")
+        return self._result(query, AccessPath.PIM, execution.value,
+                            execution.elapsed_ns, execution.n_rows,
+                            execution.selectivity, "-")
 
     def run_rme_pushdown(
         self,
@@ -322,6 +366,8 @@ class QueryExecutor:
             if index is None:
                 raise QueryError("index path requires a loaded index")
             return self.run_index(query, loaded, index, flush)
+        if path is AccessPath.PIM:
+            return self.run_pim(query, loaded, flush)
         raise QueryError(f"unknown access path {path!r}")
 
     # -- functional evaluation -----------------------------------------------------
@@ -393,14 +439,18 @@ class QueryExecutor:
 
     def _direct_rescan_ns(self, query: Query, var: EphemeralVariable,
                           selectivity: float) -> float:
+        return self._fallback_rescan_ns(query, var.loaded, selectivity)
+
+    def _fallback_rescan_ns(self, query: Query, loaded: LoadedTable,
+                            selectivity: float) -> float:
         """Price the degraded-mode base-table re-scan (no cache flush —
         the fault interrupted a run already in progress)."""
-        offset, width = var.loaded.schema.covering_group(query.columns())
+        offset, width = loaded.schema.covering_group(query.columns())
         segment = ScanSegment(
-            start=var.loaded.base_addr + offset,
-            n_elems=var.loaded.table.n_rows,
+            start=loaded.base_addr + offset,
+            n_elems=loaded.table.n_rows,
             elem_size=width,
-            stride=var.loaded.schema.row_size,
+            stride=loaded.schema.row_size,
             compute_ns=query.row_compute_ns(selectivity),
             name=f"fallback:{query.name}",
         )

@@ -102,6 +102,17 @@ def choose_access_path(
             index.height, touched_leaves, matches, index.node_bytes
         )
 
+    # Bank-level PIM: only for queries the in-bank datapath can evaluate,
+    # and only over plain physical tables (the banks cannot apply MVCC
+    # visibility). Closed-form, same constants as the executed scan.
+    if loaded.versioned is None:
+        from ..pim import estimate_query_ns, supports_query
+
+        if not supports_query(query):
+            estimates[AccessPath.PIM] = estimate_query_ns(
+                query, schema, n_rows, selectivity
+            )
+
     best = min(estimates, key=estimates.get)
     reason = _explain(query, best, width, schema.row_size)
     return AccessPathChoice(query.name, best, estimates, reason)
@@ -112,6 +123,12 @@ def _explain(query: Query, best: AccessPath, width: int, row_size: int) -> str:
     if best is AccessPath.INDEX:
         return "the predicate is selective enough that probing the B+-tree " \
                "and fetching the few matches beats any scan"
+    if best is AccessPath.PIM:
+        if query.aggregate is not None:
+            return ("the banks can fold the aggregate locally, so only a "
+                    "register line ever crosses the AXI boundary")
+        return ("few rows survive the predicate; filtering at the banks and "
+                "point-fetching the survivors beats streaming everything")
     if best is AccessPath.DIRECT_ROW:
         return (
             f"projectivity {projectivity:.0%} is high enough that moving whole "

@@ -17,8 +17,9 @@ IR (:mod:`repro.query.relation`). It does three jobs:
    delegate to exactly the same measured primitives, answers and cycle
    counts are bit-identical to the pre-IR pipeline (pinned by
    ``tests/test_ir_equivalence.py``).
-3. **Degradation**: when the RME raises an unrecoverable ``FaultError``
-   and the recovery policy allows a CPU fallback, the executor degrades
+3. **Degradation**: when the RME or the PIM banks raise an
+   unrecoverable ``FaultError`` and the recovery policy allows a CPU
+   fallback, the executor degrades
    transparently; the processor then *re-roots* the fetch subtree onto
    :data:`~repro.query.engines.DEGRADED` so the executed tree in
    :attr:`Processor.last_report` records what actually happened — same
@@ -59,6 +60,7 @@ from .engines import (
     CPU,
     DEGRADED,
     INDEX,
+    PIM,
     RME,
     Engine,
 )
@@ -89,6 +91,7 @@ _PATH_ENGINES = {
     AccessPath.COLUMNAR: COLUMNAR,
     AccessPath.RME: RME,
     AccessPath.INDEX: INDEX,
+    AccessPath.PIM: PIM,
 }
 
 
@@ -106,6 +109,14 @@ def relation_from_query(
     explicit transfers when the engine is not the CPU. ``fetch_columns``
     widens the physically fetched column group beyond the query's
     footprint (the figure sweeps do this to control projectivity).
+
+    The PIM engine is the one placement where *compute* leaves the CPU:
+    selection and aggregation happen inside the DRAM banks, so the
+    ``σ``/``γ`` operators sit below the ``Transfer[pim → cpu]`` — the
+    bank boundary — and only the output projection stays on the CPU.
+    Queries the banks cannot evaluate (see
+    :func:`repro.pim.predicate.supports_query`) raise ``QueryError``
+    when pinned there.
 
     >>> from repro.query.queries import q4
     >>> print(relation_from_query(q4()))
@@ -130,6 +141,23 @@ def relation_from_query(
     )
     source: Relation = leaf.transfer(engine)
     fetch: Relation = Projection(target=source, projected=fetched)
+    if engine == PIM:
+        from ..pim import supports_query
+
+        reason = supports_query(query)
+        if reason:
+            raise QueryError(f"{query.name}: not PIM-evaluable: {reason}")
+        body = fetch
+        if query.predicate is not None:
+            body = body.select(query.predicate)
+        if query.aggregate is not None:
+            body = body.aggregate(query.aggregate, query.agg_expr,
+                                  group_by=query.group_by,
+                                  passes=query.passes)
+        body = body.transfer(CPU)
+        if query.aggregate is None and tuple(query.select) != fetched:
+            body = Projection(target=body, projected=tuple(query.select))
+        return body.label(query.name, query.sql)
     body = fetch.transfer(CPU)
     if query.predicate is not None:
         body = body.select(query.predicate)
@@ -450,6 +478,12 @@ class Processor:
                 raise QueryError("an RME-placed tree needs an ephemeral "
                                  "variable binding (var=...)")
             result = self.executor.run_rme(query, var, flush)
+            if result.state == "degraded":
+                executed = reroot_degraded(relation)
+        elif engine == PIM:
+            if loaded is None:
+                raise QueryError("a PIM-placed tree needs a loaded= binding")
+            result = self.executor.run_pim(query, loaded, flush)
             if result.state == "degraded":
                 executed = reroot_degraded(relation)
         elif engine == COLUMNAR:

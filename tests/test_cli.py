@@ -86,14 +86,32 @@ def test_query_noncontiguous_group_supported():
 
 def test_query_bad_sql():
     code, text = run_cli("query", "SELEC broken")
-    assert code == 1
-    assert "error:" in text
+    assert code == 2
+    lines = [line for line in text.splitlines() if line]
+    assert len(lines) == 1 and lines[0].startswith("error:")
+    assert "Traceback" not in text
 
 
 def test_query_unknown_column():
     code, text = run_cli("query", "SELECT SUM(Z9) FROM S", "--rows", "32")
     assert code == 2
     assert "Z9" in text
+
+
+def test_query_table_includes_pim_row():
+    code, text = run_cli(
+        "query", "SELECT A1 FROM S WHERE A2 < -990000", "--rows", "128"
+    )
+    assert code == 0
+    assert "PIM pushdown" in text
+    assert "n/a" not in text
+
+
+def test_query_pim_row_explains_ineligibility():
+    # A1*A2 is not a bare column, so the comparator array cannot fold it.
+    code, text = run_cli("query", "SELECT SUM(A1 * A2) FROM S", "--rows", "64")
+    assert code == 0
+    assert "PIM pushdown" in text and "n/a" in text
 
 
 def test_figures_subset():
@@ -123,8 +141,102 @@ def test_figures_csv_export(tmp_path):
     assert header.startswith("projectivity,")
 
 
+def one_line(text):
+    lines = [line for line in text.splitlines() if line]
+    assert len(lines) == 1 and lines[0].startswith("error:")
+    assert "Traceback" not in text
+    return lines[0]
+
+
+def test_bench_ext_pim_smoke_runs():
+    code, text = run_cli("bench", "ext-pim", "--smoke", "--rows", "256")
+    assert code == 0
+    assert "PIM w=" in text and "RME w=" in text and "CPU w=" in text
+    assert "byte-identical" in text
+
+
+def test_bench_smoke_unsupported_sweep():
+    code, text = run_cli("bench", "fig06", "--smoke")
+    assert code == 2
+    line = one_line(text)
+    assert "--smoke is only supported" in line
+    # The usage tip's engine list comes from the registry, not a
+    # hard-coded string, so @pim is already in it.
+    assert "cpu, rme, columnar, index, pim" in line
+
+
+def test_bench_explain_pinned_pim_plan():
+    code, text = run_cli("bench", "ext-pim", "--explain", "--engine", "pim")
+    assert code == 0
+    assert "@pim" in text and "Transfer[pim → cpu]" in text
+    assert "pinned via --engine pim" in text
+
+
+def test_bench_explain_unknown_engine_lists_registry():
+    code, text = run_cli("bench", "ext-pim", "--explain", "--engine", "tpu")
+    assert code == 2
+    line = one_line(text)
+    assert "unknown engine 'tpu'" in line
+    assert "cpu, rme, columnar, index, pim" in line
+
+
+def test_bench_explain_unknown_column_usage_error():
+    code, text = run_cli(
+        "bench", "ext-pim", "--explain", "--sql", "SELECT Z9 FROM S"
+    )
+    assert code == 2
+    assert "Z9" in one_line(text)
+
+
+def test_bench_explain_bad_aggregate_usage_error():
+    code, text = run_cli(
+        "bench", "ext-pim", "--explain", "--sql", "SELECT MEDIAN(A1) FROM S"
+    )
+    assert code == 2
+    assert "MEDIAN" in one_line(text).upper()
+
+
+def test_bench_explain_unsupported_predicate_pinned_pim():
+    code, text = run_cli(
+        "bench", "ext-pim", "--explain", "--engine", "pim",
+        "--sql", "SELECT A1 FROM S WHERE A2 * A3 > 0",
+    )
+    assert code == 2
+    assert "PIM" in one_line(text)
+
+
+def test_bench_engine_without_explain_usage_error():
+    code, text = run_cli("bench", "ext-pim", "--engine", "pim")
+    assert code == 2
+    assert "--explain" in one_line(text)
+
+
 def serve_cli(*extra):
     return run_cli("serve", "--rows", "128", "--requests", "60", *extra)
+
+
+def test_serve_explain_sql_unknown_column():
+    code, text = serve_cli(
+        "--explain", "--sql", "SELECT Z9 FROM S", "--tenants", "1"
+    )
+    assert code == 2
+    assert "Z9" in one_line(text)
+
+
+def test_serve_explain_sql_bad_sql():
+    code, text = serve_cli("--explain", "--sql", "SELECT A1 WHERE",
+                           "--tenants", "1")
+    assert code == 2
+    one_line(text)
+
+
+def test_serve_explain_sql_plans_per_tenant():
+    code, text = serve_cli(
+        "--explain", "--sql", "SELECT SUM(A1) FROM S", "--tenants", "2"
+    )
+    assert code == 0
+    assert text.count("/adhoc]") == 2
+    assert "@rme" in text
 
 
 def test_serve_reports_slos():

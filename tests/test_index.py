@@ -229,6 +229,16 @@ def test_optimizer_alternates_with_selectivity(indexed_env):
                                    selectivity=0.005, index=index.index)
     broad = choose_access_path(selective_query(990), loaded,
                                selectivity=0.95, index=index.index)
-    assert selective.best is AccessPath.INDEX
-    assert broad.best in (AccessPath.RME, AccessPath.DIRECT_ROW)
-    assert AccessPath.INDEX in broad.estimates_ns
+    # Few matches: a point-access path (the index probe, or the in-bank
+    # PIM fold, which reads out one register line regardless) beats the
+    # streaming scans.
+    assert selective.best in (AccessPath.INDEX, AccessPath.PIM)
+    assert broad.best not in (AccessPath.INDEX,)
+    # The index's own crossover: it undercuts every streaming path when
+    # few rows match and loses to them when most do.
+    assert selective.estimates_ns[AccessPath.INDEX] < min(
+        selective.estimates_ns[AccessPath.DIRECT_ROW],
+        selective.estimates_ns[AccessPath.RME])
+    assert broad.estimates_ns[AccessPath.INDEX] > min(
+        broad.estimates_ns[AccessPath.DIRECT_ROW],
+        broad.estimates_ns[AccessPath.RME])

@@ -271,7 +271,28 @@ def test_parallel_map_records_dispatch_stats():
 
 def test_parallel_map_propagates_task_exceptions():
     with pytest.raises(ValueError, match="bad item"):
-        parallel_map(_boom, [1, 2, 3], jobs=2)
+        parallel_map(_boom, [1, 2, 3], jobs=2,
+                     config=ParallelConfig(inline_below=1))
+
+
+def test_small_sweeps_fall_back_inline():
+    items = [1, 2, 3]  # below the default break-even floor of 4
+    stats = StatSet("dispatch")
+    results = parallel_map(_square, items, jobs=2, stats=stats)
+    assert results == [_square(x) for x in items]
+    assert stats.counter("parallel_inline_fallback").count == 1
+    assert stats.counter("batches").count == 1
+
+    # At the floor, the pool dispatches normally.
+    stats = StatSet("dispatch")
+    parallel_map(_square, list(range(4)), jobs=2, stats=stats)
+    assert stats.counter("parallel_inline_fallback").count == 0
+
+    # inline_below=1 disables the fallback.
+    stats = StatSet("dispatch")
+    parallel_map(_square, [1, 2], jobs=2, stats=stats,
+                 config=ParallelConfig(inline_below=1))
+    assert stats.counter("parallel_inline_fallback").count == 0
 
 
 def test_crashed_workers_fall_back_inline():
@@ -291,6 +312,7 @@ def test_crashed_worker_retry_succeeds_within_budget():
         stats = StatSet("dispatch")
         results = parallel_map(
             _crash_once, items, jobs=2, batch_size=1, stats=stats,
+            config=ParallelConfig(inline_below=1),
         )
         assert results == [0, 10]
         assert stats.counter("worker_restarts").count >= 1
@@ -318,8 +340,8 @@ def test_disabled_recovery_means_no_restarts():
 def test_fig06_sharded_bit_identical():
     from repro.bench.figures import fig06_q1_designs
 
-    single = fig06_q1_designs(n_rows=128, widths=(1, 8), jobs=1)
-    sharded = fig06_q1_designs(n_rows=128, widths=(1, 8), jobs=2)
+    single = fig06_q1_designs(n_rows=128, widths=(1, 4, 8, 16), jobs=1)
+    sharded = fig06_q1_designs(n_rows=128, widths=(1, 4, 8, 16), jobs=2)
     assert single.xs == sharded.xs
     assert single.series == sharded.series
 

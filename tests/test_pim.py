@@ -1,0 +1,345 @@
+"""Tests for the bank-level PIM pushdown engine (``repro.pim``).
+
+Covers the bitmap algebra, the DRAM-geometry bank partition, the
+predicate compiler and its refusal reasons, byte-identity of PIM answers
+against the software paths, the cost model's shape, optimizer placement,
+plan printing, and fault degradation mirroring the RME contract.
+"""
+
+import pytest
+
+from repro.bench.workloads import make_relation
+from repro.config import DRAMTimings, ZCU102
+from repro.core.access_path import AccessPath
+from repro.core.relmem import RelationalMemorySystem
+from repro.errors import ConfigurationError, FaultError, QueryError
+from repro.faults import DEFAULT_RECOVERY, NO_RECOVERY, FaultPlan, RecoveryPolicy
+from repro.pim import (
+    BankLayout,
+    BankPIM,
+    PimUnsupportedError,
+    PIMCostModel,
+    SelectionBitmap,
+    estimate_query_ns,
+    expected_pages_touched,
+    predicate_spec,
+    supports_query,
+)
+from repro.query.engines import CPU, PIM
+from repro.query.executor import QueryExecutor
+from repro.query.expr import Col
+from repro.query.optimizer import choose_access_path
+from repro.query.processor import Processor
+from repro.query.queries import Query, q1, q2, q4
+
+
+# -- bitmap algebra ---------------------------------------------------------------
+
+
+def test_bitmap_from_bools_roundtrip():
+    flags = [True, False, True, True, False]
+    bitmap = SelectionBitmap.from_bools(5, flags)
+    assert [bitmap.get(i) for i in range(5)] == flags
+    assert bitmap.count() == 3
+    assert list(bitmap.indices()) == [0, 2, 3]
+
+
+def test_bitmap_bitwise_ops_mask_to_size():
+    a = SelectionBitmap.from_indices(4, [0, 1])
+    b = SelectionBitmap.from_indices(4, [1, 2])
+    assert list((a & b).indices()) == [1]
+    assert list((a | b).indices()) == [0, 1, 2]
+    inverted = ~SelectionBitmap.zeros(4)
+    assert inverted == SelectionBitmap.ones(4)
+    assert inverted.count() == 4  # no bits above n_rows leak in
+
+
+def test_bitmap_peer_size_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        SelectionBitmap.ones(4) & SelectionBitmap.ones(5)
+
+
+def test_bitmap_nbytes_is_packed():
+    assert SelectionBitmap.zeros(1).nbytes == 1
+    assert SelectionBitmap.zeros(8).nbytes == 1
+    assert SelectionBitmap.zeros(9).nbytes == 2
+
+
+# -- bank partitioning ------------------------------------------------------------
+
+
+def test_bank_layout_matches_dram_interleave():
+    timings = DRAMTimings()
+    layout = BankLayout(0, 64, 256, timings)
+    # 64 B rows, 2048 B pages -> 32 rows per page, pages round-robin the
+    # banks, so 256 rows land 32 per bank across all 8 banks.
+    assert [s.n_rows for s in layout.slices] == [32] * timings.n_banks
+    covered = sorted(r for s in layout.slices for r in s.row_ids)
+    assert covered == list(range(256))
+    # page_of agrees with the DRAM mapping block = addr // page_size.
+    assert layout.page_of(0) == 0
+    assert layout.page_of(32) == 1
+
+
+def test_bank_layout_respects_base_addr():
+    timings = DRAMTimings()
+    shifted = BankLayout(timings.row_buffer_bytes, 64, 32, timings)
+    # One page past base 0: the first rows now live in bank 1, not 0.
+    assert shifted.slices[0].bank == 1
+
+
+def test_bank_layout_rejects_bad_geometry():
+    with pytest.raises(ConfigurationError):
+        BankLayout(0, 0, 16, DRAMTimings())
+    with pytest.raises(ConfigurationError):
+        BankLayout(0, 64, 16, DRAMTimings()).page_of(99)
+
+
+# -- predicate compiler -----------------------------------------------------------
+
+
+def test_predicate_spec_counts_comparators():
+    spec = predicate_spec((Col("A1") < 5).and_(Col("A2") >= 0))
+    assert spec.n_compare == 2
+    assert spec.n_combine == 1
+    assert spec.columns == ("A1", "A2")
+
+
+def test_predicate_spec_mirrors_const_on_left():
+    spec = predicate_spec(Col("A1") > 7)
+    mirrored = predicate_spec(~(Col("A1") <= 7)) if False else spec
+    assert mirrored.leaves[0].column == "A1"
+
+
+def test_predicate_spec_folds_negative_literals():
+    # The SQL parser spells -5 as (0 - 5); the comparator takes an
+    # immediate, so the compiler folds column-free subtrees.
+    from repro.query.sql import parse_query
+
+    query = parse_query("SELECT A1 FROM S WHERE A2 < -5")
+    spec = predicate_spec(query.predicate)
+    assert spec.leaves[0].constant == -5
+
+
+def test_predicate_spec_rejects_column_vs_column():
+    with pytest.raises(PimUnsupportedError):
+        predicate_spec(Col("A1") < Col("A2"))
+
+
+def test_predicate_spec_rejects_arithmetic():
+    with pytest.raises(PimUnsupportedError):
+        predicate_spec((Col("A1") * Col("A2")) > 0)
+
+
+def test_supports_query_reasons():
+    assert supports_query(q2(k=0)) == ""
+    assert supports_query(q4()) == ""
+    assert "push down" in supports_query(q1())  # bare full projection
+    grouped = Query(name="g", sql="", select=(), aggregate="sum",
+                    agg_expr=Col("A1"), group_by="A2")
+    assert "GROUP BY" in supports_query(grouped)
+    arithmetic = Query(name="m", sql="", select=(), aggregate="sum",
+                       agg_expr=Col("A1") * Col("A2"))
+    assert supports_query(arithmetic) != ""
+
+
+# -- byte-identity against the software paths -------------------------------------
+
+
+def shootout(query, n_rows=512):
+    table = make_relation(n_rows)
+    software = RelationalMemorySystem()
+    direct = QueryExecutor(software).run_direct(
+        query, software.load_table(table))
+    hardware = RelationalMemorySystem()
+    pim = BankPIM(hardware).run(query, hardware.load_table(table))
+    return direct, pim
+
+
+@pytest.mark.parametrize("query", [
+    Query(name="proj", sql="", select=("A1", "A2"),
+          predicate=Col("A1") < -500_000),
+    Query(name="sum", sql="", select=(), aggregate="sum",
+          agg_expr=Col("A2"), predicate=Col("A1") < 0),
+    Query(name="count", sql="", select=(), aggregate="count",
+          agg_expr=Col("A1"),
+          predicate=(Col("A1") < 0).and_(Col("A2") > 0)),
+    Query(name="min", sql="", select=(), aggregate="min",
+          agg_expr=Col("A3")),
+    Query(name="max-or", sql="", select=(), aggregate="max",
+          agg_expr=Col("A1"),
+          predicate=(Col("A2") < -900_000).or_(Col("A2") > 900_000)),
+], ids=lambda q: q.name)
+def test_pim_answers_byte_identical(query):
+    direct, pim = shootout(query)
+    assert pim.value == direct.value
+    assert pim.selectivity == direct.selectivity
+    assert pim.elapsed_ns > 0
+
+
+def test_pim_runs_are_deterministic():
+    query = q2(k=0)
+    _, first = shootout(query)
+    _, second = shootout(query)
+    assert first.value == second.value
+    assert first.elapsed_ns == second.elapsed_ns
+    assert first.bitmap == second.bitmap
+
+
+def test_pim_rejects_ineligible_queries():
+    table = make_relation(64)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    with pytest.raises(QueryError, match="not PIM-evaluable"):
+        BankPIM(system).run(q1(), loaded)
+
+
+# -- cost model -------------------------------------------------------------------
+
+
+def test_expected_pages_touched_bounds():
+    assert expected_pages_touched(16, 0) == 0.0
+    assert expected_pages_touched(16, 1) == 1.0
+    assert expected_pages_touched(16, 10_000) == pytest.approx(16.0, rel=1e-6)
+
+
+def test_estimate_grows_with_selectivity_for_projections():
+    query = Query(name="p", sql="", select=("A1", "A2"),
+                  predicate=Col("A1") < 0)
+    table = make_relation(256)
+    costs = [estimate_query_ns(query, table.schema, 256, s)
+             for s in (0.01, 0.1, 0.5, 1.0)]
+    assert costs == sorted(costs)
+    assert costs[0] < costs[-1]
+
+
+def test_aggregate_estimate_is_flat_in_projectivity():
+    # Aggregation reads out one result line however many rows match, so
+    # its estimate must undercut the projection's at full selectivity.
+    agg = Query(name="a", sql="", select=(), aggregate="sum",
+                agg_expr=Col("A1"), predicate=Col("A1") < 0)
+    proj = Query(name="p", sql="", select=("A1",),
+                 predicate=Col("A1") < 0)
+    table = make_relation(256)
+    assert estimate_query_ns(agg, table.schema, 256, 1.0) < \
+        estimate_query_ns(proj, table.schema, 256, 1.0)
+
+
+def test_cost_model_uses_platform_timings():
+    fast = PIMCostModel(ZCU102)
+    assert fast.setup_ns() > 0
+    assert fast.bank_scan_ns(2, 64, 1) > fast.bank_scan_ns(1, 32, 1)
+    assert fast.readout_ns(64) > 0
+
+
+# -- optimizer placement ----------------------------------------------------------
+
+
+def placement(query, n_rows=4096, selectivity=0.5):
+    table = make_relation(n_rows)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    return choose_access_path(query, loaded, design=system.design,
+                              selectivity=selectivity)
+
+
+def test_optimizer_picks_pim_at_low_selectivity():
+    query = Query(name="needle", sql="", select=("A1", "A2"),
+                  predicate=Col("A1") < -999_000)
+    choice = placement(query, selectivity=0.001)
+    assert choice.best is AccessPath.PIM
+    assert AccessPath.PIM in choice.estimates_ns
+
+
+def test_optimizer_avoids_pim_for_wide_full_scans():
+    query = Query(name="haystack", sql="",
+                  select=tuple(f"A{i}" for i in range(1, 17)),
+                  predicate=Col("A1") < 1_000_001)
+    choice = placement(query, selectivity=1.0)
+    assert choice.best is not AccessPath.PIM
+
+
+def test_optimizer_skips_pim_for_ineligible_queries():
+    choice = placement(q1())
+    assert AccessPath.PIM not in choice.estimates_ns
+
+
+# -- processor integration --------------------------------------------------------
+
+
+def test_pinned_pim_plan_shows_bank_boundary():
+    table = make_relation(128)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    plan = Processor(system).plan(q4(), loaded, engine=PIM)
+    text = plan.explain()
+    assert "@pim" in text
+    assert "Transfer[pim → cpu]" in text
+    assert plan.engine is PIM
+
+
+def test_processor_executes_pinned_pim_plan():
+    table = make_relation(256)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    processor = Processor(system)
+    report = processor.run(q4(), loaded, engine=PIM)
+    fresh = RelationalMemorySystem()
+    baseline = QueryExecutor(fresh).run_direct(q4(), fresh.load_table(table))
+    assert report.result.value == baseline.value
+    assert report.result.path is AccessPath.PIM
+    assert not report.degraded
+
+
+# -- fault degradation (the RME contract, verbatim) -------------------------------
+
+
+def faulted_system(recovery):
+    table = make_relation(256)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    injector = system.enable_faults(
+        FaultPlan.single("dram_bitflip", 0.0, severity=2), recovery
+    )
+    return system, loaded, injector, table
+
+
+def test_uncorrectable_fault_degrades_to_cpu():
+    system, loaded, injector, table = faulted_system(DEFAULT_RECOVERY)
+    result = QueryExecutor(system).run_pim(q4(), loaded)
+    assert result.state == "degraded"
+    assert result.path is AccessPath.DIRECT_ROW
+    fresh = RelationalMemorySystem()
+    baseline = QueryExecutor(fresh).run_direct(q4(), fresh.load_table(table))
+    assert result.value == baseline.value  # staleness-free fallback
+    assert injector.stats.count("pim_uncorrectable") == 1
+    assert injector.stats.count("cpu_fallbacks") == 1
+    assert injector.stats.count("pim_faults") == 1
+
+
+def test_corrected_fault_stays_on_pim():
+    table = make_relation(256)
+    system = RelationalMemorySystem()
+    loaded = system.load_table(table)
+    injector = system.enable_faults(
+        FaultPlan.single("dram_bitflip", 0.0, severity=1), DEFAULT_RECOVERY
+    )
+    result = QueryExecutor(system).run_pim(q4(), loaded)
+    assert result.state == "-"
+    assert result.path is AccessPath.PIM
+    assert injector.stats.count("pim_corrected") == 1
+
+
+def test_unrecoverable_without_fallback_raises():
+    system, loaded, _, _ = faulted_system(NO_RECOVERY)
+    with pytest.raises(FaultError):
+        QueryExecutor(system).run_pim(q4(), loaded)
+
+
+def test_degraded_plan_reroots_like_rme():
+    system, loaded, _, _ = faulted_system(DEFAULT_RECOVERY)
+    processor = Processor(system)
+    report = processor.run(q4(), loaded, engine=PIM)
+    assert report.degraded
+    assert "@degraded" in report.explain()
+    assert "@pim" in processor.explain(report.planned)

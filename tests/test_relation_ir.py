@@ -15,6 +15,7 @@ from repro.query.engines import (
     CPU,
     DEGRADED,
     INDEX,
+    PIM,
     RME,
     CpuEngine,
     RmeEngine,
@@ -360,6 +361,10 @@ def render_golden_plans():
     plans["Q1-degraded"] = print_tree(
         reroot_degraded(relation_from_query(q1(), engine=RME)))
     plans["Q1-direct"] = print_tree(relation_from_query(q1(), engine=CPU))
+    plans["Q2-pim"] = print_tree(relation_from_query(q2(k=0), engine=PIM))
+    plans["Q4-pim"] = print_tree(relation_from_query(q4(), engine=PIM))
+    plans["Q4-pim-degraded"] = print_tree(
+        reroot_degraded(relation_from_query(q4(), engine=PIM)))
     return plans
 
 
