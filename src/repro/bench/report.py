@@ -110,6 +110,57 @@ def render_slo_report(report) -> str:
     return f"{head}\n{table}\n{summary}"
 
 
+def render_cluster_report(report) -> str:
+    """A :class:`~repro.cluster.ClusterReport` as per-node SLO tables.
+
+    One row per node — served/shed/abandoned counts, crash and stale-
+    serve tallies and the p50/p99 ladder — then the cluster summary
+    (availability, latency, degradation) and one router line covering
+    the resilience machinery: retries, deadline timeouts, hedges,
+    failover reroutes, breaker opens, health-check ejections.
+    """
+    rows = [
+        [
+            slo.node, slo.served, slo.shed, slo.abandoned,
+            slo.crashes, slo.stale_serves,
+            round(slo.p50_ns), round(slo.p99_ns),
+        ]
+        for slo in report.nodes
+    ]
+    table = render_table(
+        ["node", "served", "shed", "abandoned", "crashes", "stale",
+         "p50 ns", "p99 ns"],
+        rows,
+    )
+    head = (
+        f"nodes={report.n_nodes} replication={report.replication} "
+        f"routing={report.routing} policy={report.policy} "
+        f"failover={'on' if report.failover else 'off'} "
+        f"hedging={'on' if report.hedging else 'off'} "
+        f"deadline={report.deadline_ns:,.0f} ns"
+    )
+    summary = (
+        f"availability {report.availability:.1%}: served "
+        f"{report.served}/{report.arrivals} ({report.shed} shed, "
+        f"{report.failed} failed, {report.degraded} degraded to CPU) in "
+        f"{report.duration_ns / 1e6:.2f} simulated ms "
+        f"({report.throughput_qps:,.0f} qps)\n"
+        f"overall latency p50/p95/p99: {report.p50_ns:,.0f} / "
+        f"{report.p95_ns:,.0f} / {report.p99_ns:,.0f} ns\n"
+        f"router: {report.retries} retries, {report.timeouts} deadline "
+        f"timeouts, {report.hedges} hedges ({report.hedge_wins} won), "
+        f"{report.failover_routes} failover routes, "
+        f"{report.breaker_opens} breaker opens, "
+        f"{report.health_downs} health ejections, "
+        f"{report.fault_events} fault events\n"
+        f"staleness bound: max {report.staleness_max_ns:,.0f} ns, "
+        f"p99 {report.staleness_p99_ns:,.0f} ns over "
+        f"{report.degraded + sum(n.stale_serves for n in report.nodes)} "
+        f"non-primary serves"
+    )
+    return f"{head}\n{table}\n{summary}"
+
+
 # -- telemetry snapshots ----------------------------------------------------------
 
 def metrics_to_csv(registry) -> str:

@@ -10,6 +10,9 @@ The subcommands cover the common workflows without writing Python:
 * ``serve`` — run a concurrent multi-tenant query workload through the
   RME scheduler and report per-tenant SLOs (p50/p95/p99, throughput,
   shed rate);
+* ``cluster`` — shard the same workload across N simulated RME nodes
+  with replica failover, hedged retries and staleness-measured CPU
+  degradation, optionally under a seeded node-fault plan;
 * ``trace`` — run a query with tracing on and export the causal timeline
   as Chrome trace-event JSON (Perfetto / ``chrome://tracing`` loadable);
 * ``stats`` — run a query and dump the telemetry registry (table, JSON
@@ -38,12 +41,14 @@ from .bench import figures as figure_drivers
 from .bench.report import (
     metrics_to_csv,
     metrics_to_json,
+    render_cluster_report,
     render_figure,
     render_metrics,
     render_slo_report,
     render_table,
 )
 from .bench.workloads import make_relation
+from .cluster.placement import routing_names
 from .config import ZCU102
 from .core.relmem import RelationalMemorySystem
 from .errors import ConfigurationError, QueryError, ReproError
@@ -52,6 +57,7 @@ from .query.executor import QueryExecutor
 from .query.sql import parse_query
 from .rme.designs import ALL_DESIGNS, design_by_name
 from .rme.resources import estimate_resources
+from .serve.scheduler import policy_names
 from .sim.trace import write_chrome_trace
 
 
@@ -94,6 +100,8 @@ _FIGURES: Dict[str, Callable] = {
     "ext-faults": lambda rows: extension_drivers.ext_faults_sweep(
         n_rows=max(128, rows // 2)),
     "ext-pim": lambda rows: extension_drivers.ext_pim_shootout(n_rows=rows),
+    "ext-cluster": lambda rows: extension_drivers.ext_cluster_sweep(
+        n_rows=max(128, rows // 2)),
 }
 
 #: Sweeps whose drivers shard across processes; same row scaling as
@@ -111,12 +119,16 @@ _PARALLEL_FIGURES: Dict[str, Callable] = {
         n_rows=max(128, rows // 2), jobs=jobs),
     "ext-pim": lambda rows, jobs: extension_drivers.ext_pim_shootout(
         n_rows=rows, jobs=jobs),
+    "ext-cluster": lambda rows, jobs: extension_drivers.ext_cluster_sweep(
+        n_rows=max(128, rows // 2), jobs=jobs),
 }
 
 #: Sweeps with a CI-sized ``--smoke`` grid.
 _SMOKE_FIGURES: Dict[str, Callable] = {
     "ext-pim": lambda rows, jobs: extension_drivers.ext_pim_shootout(
         n_rows=rows, jobs=jobs, smoke=True),
+    "ext-cluster": lambda rows, jobs: extension_drivers.ext_cluster_sweep(
+        n_rows=max(128, rows // 2), jobs=jobs, smoke=True),
 }
 
 
@@ -217,9 +229,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve", help="serve a concurrent multi-tenant query workload")
-    serve.add_argument("--policy", choices=("fcfs", "ctx-switch", "multi-port"),
-                       default="fcfs",
-                       help="configuration-port scheduler (default fcfs)")
+    serve.add_argument("--policy", default="fcfs", metavar="NAME",
+                       help="configuration-port scheduler "
+                            f"({', '.join(policy_names())}; default fcfs)")
     serve.add_argument("--arrival", choices=("poisson", "bursty", "closed"),
                        default="poisson",
                        help="arrival process (default poisson); 'closed' runs "
@@ -267,6 +279,59 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --explain: plan this ad-hoc query against "
                             "each tenant's table instead of the built-in "
                             "templates")
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="shard a serving workload across N nodes with failover")
+    cluster.add_argument("--nodes", type=int, default=3,
+                         help="simulated serving nodes (default 3)")
+    cluster.add_argument("--replication", type=int, default=2,
+                         help="replicas per tenant shard (default 2, "
+                              "capped at --nodes)")
+    cluster.add_argument("--routing", default="consistent-hash",
+                         metavar="NAME",
+                         help="shard placement policy "
+                              f"({', '.join(routing_names())}; "
+                              "default consistent-hash)")
+    cluster.add_argument("--policy", default="fcfs", metavar="NAME",
+                         help="per-node configuration-port scheduler "
+                              f"({', '.join(policy_names())}; default fcfs)")
+    cluster.add_argument("--requests", type=int, default=300,
+                         help="total requests to serve (default 300)")
+    cluster.add_argument("--tenants", type=int, default=4,
+                         help="tenant count, one table each (default 4)")
+    cluster.add_argument("--rows", type=int, default=512,
+                         help="rows per tenant table (default 512)")
+    cluster.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate in queries per "
+                              "simulated second (default: 0.6x the "
+                              "cluster's aggregate saturation rate)")
+    cluster.add_argument("--queue-depth", type=int, default=64,
+                         help="per-node admission backlog bound (default 64)")
+    cluster.add_argument("--fault-plan",
+                         choices=("none", "node-crash", "slow-node",
+                                  "replica-lag", "storm"),
+                         default="none",
+                         help="seeded node-fault plan to inject "
+                              "(default none)")
+    cluster.add_argument("--intensity", type=float, default=1.0,
+                         help="fault-plan rate multiplier (default 1.0)")
+    cluster.add_argument("--no-failover", action="store_true",
+                         help="pin each request to its primary replica "
+                              "(the availability baseline)")
+    cluster.add_argument("--no-hedging", action="store_true",
+                         help="disable hedged duplicate requests on "
+                              "p99 drift")
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument("--design", default="MLP",
+                         help="BSL, PCK or MLP (default MLP)")
+    cluster.add_argument("--format", choices=("table", "json", "csv"),
+                         default="table",
+                         help="cluster SLO table, or the merged metrics "
+                              "registry as JSON/CSV (default table)")
+    cluster.add_argument("--smoke", action="store_true",
+                         help="tiny CI grid; asserts availability > 0 and "
+                              "byte-identical served answers")
 
     chaos = commands.add_parser(
         "chaos", help="inject hardware faults and measure recovery")
@@ -372,7 +437,7 @@ def _bench_explain_queries(name: str):
     """The (label, query) pairs a sweep's points are built from."""
     from .query.queries import q1, q2, q4
 
-    if name in ("ext-serving", "ext-faults"):
+    if name in ("ext-serving", "ext-faults", "ext-cluster"):
         return [("project", q1("A3")),
                 ("filter", q2(col="A1", sel_col="A2", k=0)),
                 ("sum", q4("A1"))]
@@ -668,6 +733,11 @@ def _cmd_serve(args, out) -> int:
         profile_workload,
     )
 
+    if args.policy not in policy_names():
+        raise _UsageError(
+            f"repro serve: unknown scheduler policy {args.policy!r} "
+            f"(choose from {', '.join(policy_names())})"
+        )
     platform = _platform_from_overrides(args.config)
     design = design_by_name(args.design)
     tenants = default_tenants(
@@ -711,6 +781,103 @@ def _cmd_serve(args, out) -> int:
             f"profile cache: {hits} hits / {misses} misses this run "
             f"(hit rate {rate:.0%})", file=out,
         )
+    return 0
+
+
+#: ``--fault-plan`` name -> Poisson rates per ms at ``--intensity 1``.
+_CLUSTER_FAULT_RATES: Dict[str, Dict[str, float]] = {
+    "node-crash": {"node_crash": 3.0},
+    "slow-node": {"node_slow": 4.0},
+    "replica-lag": {"replica_lag": 4.0},
+    "storm": {"node_crash": 2.0, "node_slow": 3.0, "replica_lag": 3.0},
+}
+
+
+def _cluster_fault_plan(kind: str, intensity: float, duration_ns: float,
+                        n_nodes: int, seed: int):
+    """Build the seeded node-fault plan behind ``--fault-plan``."""
+    from .faults import FaultPlan
+
+    if kind == "none" or intensity <= 0:
+        return None
+    rates = {name: rate * intensity
+             for name, rate in _CLUSTER_FAULT_RATES[kind].items()}
+    return FaultPlan.node_poisson(
+        duration_ns=duration_ns, n_nodes=n_nodes,
+        rates_per_ms=rates, seed=seed,
+    )
+
+
+def _cmd_cluster(args, out) -> int:
+    from .cluster import ClusterSystem
+    from .serve import OpenLoopWorkload, default_tenants, profile_workload
+
+    if args.policy not in policy_names():
+        raise _UsageError(
+            f"repro cluster: unknown scheduler policy {args.policy!r} "
+            f"(choose from {', '.join(policy_names())})"
+        )
+    if args.routing not in routing_names():
+        raise _UsageError(
+            f"repro cluster: unknown routing policy {args.routing!r} "
+            f"(choose from {', '.join(routing_names())})"
+        )
+    n_nodes, n_requests = args.nodes, args.requests
+    n_tenants, n_rows = args.tenants, args.rows
+    if args.smoke:
+        n_nodes, n_requests = min(n_nodes, 2), min(n_requests, 120)
+        n_tenants, n_rows = min(n_tenants, 2), min(n_rows, 128)
+    design = design_by_name(args.design)
+    tenants = default_tenants(
+        n_tenants=n_tenants, n_rows=n_rows, seed=args.seed
+    )
+    profile = profile_workload(tenants, design=design)
+    rate = args.rate or 0.6 * n_nodes * profile.saturation_rate_qps()
+    horizon_ns = 1e9 * n_requests / rate
+    plan = _cluster_fault_plan(
+        args.fault_plan, args.intensity, horizon_ns, n_nodes, args.seed
+    )
+    system = ClusterSystem(
+        profile, n_nodes=n_nodes, replication=args.replication,
+        routing=args.routing, policy=args.policy,
+        queue_depth=args.queue_depth, design=design, fault_plan=plan,
+        failover=not args.no_failover, hedging=not args.no_hedging,
+    )
+    workload = OpenLoopWorkload(
+        tenants, rate_qps=rate, n_requests=n_requests, seed=args.seed
+    )
+    report = system.run(workload)
+    if args.format == "json":
+        print(metrics_to_json(report.merged), file=out)
+        return 0
+    if args.format == "csv":
+        print(metrics_to_csv(report.merged), file=out)
+        return 0
+    print(render_cluster_report(report), file=out)
+    # Every answered request must carry the profiling run's golden
+    # answer — failover, hedging and CPU degradation change *where* a
+    # query runs, never *what* it returns.
+    golden = {(spec.name, template): profile.profile(spec.name, template).value
+              for spec in tenants for template, _query in spec.templates}
+    answered = [r for r in report.records
+                if r.state in ("served", "degraded")]
+    mismatched = sum(
+        1 for r in answered if r.value != golden[(r.tenant, r.template)]
+    )
+    verdict = ("byte-identical to the fault-free golden answers"
+               if not mismatched else f"{mismatched} MISMATCHED answers")
+    print(f"answers: {len(answered)} checked, {verdict}", file=out)
+    if args.smoke:
+        if report.availability <= 0:
+            print("smoke FAILED: availability is 0", file=out)
+            return 1
+        if mismatched:
+            print("smoke FAILED: served answers drifted", file=out)
+            return 1
+        print(f"smoke ok: availability {report.availability:.1%}, "
+              f"{report.fault_events} fault events, "
+              f"{report.failover_routes} failover routes, "
+              f"{report.degraded} degraded serves", file=out)
     return 0
 
 
@@ -903,6 +1070,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bench": _cmd_bench,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "stats": _cmd_stats,

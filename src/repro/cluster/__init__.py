@@ -1,0 +1,48 @@
+"""repro.cluster — the sharded serving tier over N simulated nodes.
+
+The serving layer (:mod:`repro.serve`) models one node; this package
+scales it out and keeps it *available*:
+
+* :mod:`repro.cluster.placement` — consistent-hash / range shard
+  placement behind a registry (:func:`routing_names` feeds CLI help and
+  usage errors);
+* :mod:`repro.cluster.node` — one node's ports, scheduler, health and
+  replication-watermark state;
+* :mod:`repro.cluster.service` — :class:`ClusterSystem`: deadline-raced
+  dispatch, budgeted retries with backoff, hedging against tail drift,
+  health-check failover with per-node circuit breakers, and staleness-
+  measured degradation to the CPU row-scan replica;
+* :mod:`repro.cluster.capacity` — ``nodes → max QPS at the p99 SLO``
+  planning sweeps.
+
+Drive it with ``python -m repro cluster``; see ``docs/cluster.md``.
+"""
+
+from .capacity import DEFAULT_LOAD_FACTORS, CapacityPoint, capacity_plan
+from .node import ClusterNode
+from .placement import (
+    ConsistentHashPlacement,
+    Placement,
+    ROUTING_POLICIES,
+    RangePlacement,
+    make_placement,
+    routing_names,
+)
+from .service import CPU_REPLICA, ClusterReport, ClusterSystem, NodeSLO
+
+__all__ = [
+    "CPU_REPLICA",
+    "CapacityPoint",
+    "ClusterNode",
+    "ClusterReport",
+    "ClusterSystem",
+    "ConsistentHashPlacement",
+    "DEFAULT_LOAD_FACTORS",
+    "NodeSLO",
+    "Placement",
+    "ROUTING_POLICIES",
+    "RangePlacement",
+    "capacity_plan",
+    "make_placement",
+    "routing_names",
+]

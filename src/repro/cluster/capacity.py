@@ -1,0 +1,102 @@
+"""Capacity planning: how many nodes buy how much QPS at the p99 SLO.
+
+The ROADMAP's north star is a serving fleet sized for real traffic; this
+module answers the sizing question the ops team actually asks — *for N
+nodes, what arrival rate can the cluster sustain while p99 stays inside
+the SLO and nothing is shed?* — by sweeping a deterministic ladder of
+load factors against fault-free cluster runs and recording the highest
+rate that still meets the SLO.
+
+The ladder is expressed in multiples of the cluster's aggregate
+saturation rate (``n_nodes ×`` one always-cold port's service rate), so
+the same factors mean the same relative load at every cluster size and
+the resulting ``nodes → max QPS`` table is comparable across rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..serve.profiles import WorkloadProfile
+from ..serve.workload import OpenLoopWorkload
+from .service import ClusterSystem
+
+#: Relative load ladder: fractions of the aggregate saturation rate.
+DEFAULT_LOAD_FACTORS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95, 1.1)
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One cluster size's sustainable-throughput verdict."""
+
+    nodes: int
+    max_qps: float  #: highest offered rate meeting the SLO (0 = none did)
+    p99_ns: float  #: p99 at that rate
+    availability: float
+    rates_tried: Tuple[float, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "nodes": self.nodes,
+            "max_qps": self.max_qps,
+            "p99_ns": self.p99_ns,
+            "availability": self.availability,
+            "rates_tried": list(self.rates_tried),
+        }
+
+
+def capacity_plan(
+    profile: WorkloadProfile,
+    node_counts: Sequence[int] = (1, 2, 4),
+    slo_p99_ns: Optional[float] = None,
+    n_requests: int = 240,
+    seed: int = 7,
+    load_factors: Sequence[float] = DEFAULT_LOAD_FACTORS,
+    **cluster_kwargs,
+) -> List[CapacityPoint]:
+    """``nodes → max QPS at the p99 SLO`` over fault-free cluster runs.
+
+    ``slo_p99_ns`` defaults to the same SLO-derived deadline the cluster
+    router races requests against, so "meets the SLO" and "would not
+    have been hedged/retried" agree. Extra keyword arguments flow to
+    :class:`ClusterSystem` (routing, policy, replication, ...).
+    """
+    if not node_counts:
+        raise ConfigurationError("capacity planning needs >= 1 node count")
+    if n_requests < 1:
+        raise ConfigurationError("n_requests must be >= 1")
+    per_node_qps = profile.saturation_rate_qps()
+    points: List[CapacityPoint] = []
+    for nodes in node_counts:
+        cluster_proto = ClusterSystem(profile, n_nodes=nodes, **cluster_kwargs)
+        slo = slo_p99_ns if slo_p99_ns is not None else cluster_proto.deadline_ns
+        best_qps = 0.0
+        best_p99 = 0.0
+        best_avail = 0.0
+        rates = tuple(factor * nodes * per_node_qps for factor in load_factors)
+        for rate in rates:
+            cluster = ClusterSystem(profile, n_nodes=nodes, **cluster_kwargs)
+            workload = OpenLoopWorkload(
+                list(profile.tenants), rate_qps=rate,
+                n_requests=n_requests, seed=seed,
+            )
+            report = cluster.run(workload)
+            meets = (
+                report.p99_ns <= slo
+                and report.availability == 1.0
+                and report.shed == 0
+            )
+            if meets and rate > best_qps:
+                best_qps = rate
+                best_p99 = report.p99_ns
+                best_avail = report.availability
+        points.append(CapacityPoint(
+            nodes=nodes,
+            max_qps=best_qps,
+            p99_ns=best_p99,
+            availability=best_avail,
+            rates_tried=rates,
+        ))
+    return points

@@ -245,6 +245,10 @@ class PlatformConfig:
 #: Default platform used throughout the library and the benchmarks.
 ZCU102 = PlatformConfig()
 
+#: Shard-executor modes accepted by :class:`ParallelConfig` and
+#: :func:`repro.parallel.parallel_map`.
+PARALLEL_MODES = ("auto", "process", "thread", "inline")
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
@@ -264,6 +268,17 @@ class ParallelConfig:
     sweeps — the wall-clock benchmark measured 0.97× at two items), and
     the decision is recorded as the ``parallel_inline_fallback`` counter.
     ``1`` disables the fallback.
+
+    ``mode`` picks the shard executor. ``"process"`` is the fork pool;
+    ``"thread"`` runs batches on a thread pool in-process — no fork, no
+    pickling, no cache shipment, bit-identical results (the GIL limits
+    speedup, but fork-hostile platforms and small sweeps avoid the
+    process-pool startup loss entirely); ``"inline"`` forces the
+    reference loop. ``"auto"`` (default) selects by measured break-even:
+    inline below ``inline_below`` items, thread between ``inline_below``
+    and ``process_below`` items or whenever ``fork`` is unavailable
+    (spawn re-imports the world per worker, which is what made small
+    hosts lose), process otherwise.
     """
 
     jobs: "int | None" = None
@@ -274,8 +289,23 @@ class ParallelConfig:
     #: every worker at pool start-up (a pure warm-up; results never
     #: depend on it).
     ship_caches: bool = True
+    #: Shard executor: "auto" | "process" | "thread" | "inline".
+    mode: str = "auto"
+    #: Auto-mode break-even: sweeps with fewer items than this use the
+    #: thread pool (process pool spin-up still dominates there), larger
+    #: ones pay it off and fork real workers.
+    process_below: int = 8
 
     def validate(self) -> None:
+        if self.mode not in PARALLEL_MODES:
+            raise ConfigurationError(
+                f"unknown parallel mode {self.mode!r} "
+                f"(choose from {', '.join(PARALLEL_MODES)})"
+            )
+        if self.process_below < 1:
+            raise ConfigurationError(
+                f"process_below must be >= 1, got {self.process_below}"
+            )
         if self.jobs is not None and self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
         if self.batch_size is not None and self.batch_size < 1:

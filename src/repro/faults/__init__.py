@@ -18,8 +18,10 @@ chaos sweeps with ``python -m repro chaos``. See ``docs/faults.md``.
 """
 
 from .plan import (
+    ALL_FAULT_KINDS,
     DEFAULT_BITFLIP_WEIGHTS,
     FAULT_KINDS,
+    NODE_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultPlan,
@@ -36,11 +38,13 @@ from .recovery import (
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "CLOSED",
     "CircuitBreaker",
     "DEFAULT_BITFLIP_WEIGHTS",
     "DEFAULT_RECOVERY",
     "FAULT_KINDS",
+    "NODE_FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

@@ -36,6 +36,22 @@ Fault kinds and their injection sites:
                           :class:`~repro.errors.BufferIntegrityError`,
                           otherwise corrupt bytes are served silently.
 ========================  ====================================================
+
+The cluster tier (:mod:`repro.cluster`) adds *node-level* kinds that
+target a whole simulated serving node (``FaultEvent.target`` carries the
+node index); they are listed in :data:`NODE_FAULT_KINDS` and consumed by
+:class:`~repro.cluster.service.ClusterSystem` rather than the injector:
+
+========================  ====================================================
+``node_crash``            the node is dead for ``duration_ns``: queued work
+                          waits, in-flight requests are lost, replication
+                          stops syncing.
+``node_slow``             an AXI-storm/contention window: service times on
+                          the node scale by ``severity`` for ``duration_ns``.
+``replica_lag``           the node's replication watermark freezes for
+                          ``duration_ns`` — reads served off it on failover
+                          carry the widened staleness.
+========================  ====================================================
 """
 
 from __future__ import annotations
@@ -53,7 +69,9 @@ from .recovery import DEFAULT_RECOVERY, RecoveryPolicy
 #: ``DECLINED``. Callers retry or escalate; the bytes never reach anyone.
 POISONED = object()
 
-#: Every fault kind a plan may schedule.
+#: Every *hardware* fault kind a plan may schedule against one node's
+#: RME/memsys stack. Kept as its own tuple so existing plans, strategies
+#: and injection sites are untouched by the cluster tier.
 FAULT_KINDS = (
     "dram_bitflip",
     "axi_stall",
@@ -61,6 +79,17 @@ FAULT_KINDS = (
     "descriptor_corrupt",
     "buffer_poison",
 )
+
+#: Node-level fault kinds consumed by the cluster tier; ``target`` names
+#: the victim node index.
+NODE_FAULT_KINDS = (
+    "node_crash",
+    "node_slow",
+    "replica_lag",
+)
+
+#: Every kind a :class:`FaultEvent` may carry.
+ALL_FAULT_KINDS = FAULT_KINDS + NODE_FAULT_KINDS
 
 #: Default SECDED severity mix for generated ``dram_bitflip`` events:
 #: mostly single-bit (corrected), some double-bit (detected), rare
@@ -75,14 +104,15 @@ class FaultEvent:
 
     kind: str
     at_ns: float  #: simulated time at/after which the event fires
-    severity: int = 1  #: bit flips per ECC word (``dram_bitflip`` only)
-    duration_ns: float = 0.0  #: stall/hang length (``axi_stall``/``fetch_hang``)
+    severity: int = 1  #: bit flips per ECC word / slow-node service multiplier
+    duration_ns: float = 0.0  #: stall/hang/outage length
+    target: int = -1  #: victim node index (node-level kinds); -1 = untargeted
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r} "
-                f"(choose from {', '.join(FAULT_KINDS)})"
+                f"(choose from {', '.join(ALL_FAULT_KINDS)})"
             )
         if self.at_ns < 0:
             raise ConfigurationError("fault time must be >= 0")
@@ -90,6 +120,12 @@ class FaultEvent:
             raise ConfigurationError("fault severity must be >= 1")
         if self.duration_ns < 0:
             raise ConfigurationError("fault duration must be >= 0")
+        if self.target < -1:
+            raise ConfigurationError("fault target must be a node index or -1")
+        if self.kind in NODE_FAULT_KINDS and self.target < 0:
+            raise ConfigurationError(
+                f"{self.kind!r} events must name a target node"
+            )
 
 
 @dataclass(frozen=True)
@@ -102,7 +138,8 @@ class FaultPlan:
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "events",
-            tuple(sorted(self.events, key=lambda e: (e.at_ns, e.kind))),
+            tuple(sorted(self.events,
+                         key=lambda e: (e.at_ns, e.kind, e.target))),
         )
 
     @classmethod
@@ -160,6 +197,60 @@ class FaultPlan:
                 now += rng.expovariate(1.0) * mean_gap
         return cls(events=tuple(events), seed=seed)
 
+    @classmethod
+    def node_poisson(
+        cls,
+        duration_ns: float,
+        n_nodes: int,
+        rates_per_ms: Dict[str, float],
+        seed: int = 0,
+        crash_ns: float = 400_000.0,
+        slow_ns: float = 300_000.0,
+        slow_factor: int = 4,
+        lag_ns: float = 500_000.0,
+    ) -> "FaultPlan":
+        """Draw seeded node-level fault schedules for a cluster run.
+
+        Like :meth:`poisson` but over :data:`NODE_FAULT_KINDS`; each
+        event picks a victim node uniformly from ``range(n_nodes)``.
+        Kinds iterate in sorted order and all draws come from one seeded
+        generator, so the same arguments always produce the same plan —
+        the cluster determinism tests compare the resulting failover
+        event logs bit-for-bit.
+        """
+        if duration_ns <= 0:
+            raise ConfigurationError("plan duration must be positive")
+        if n_nodes < 1:
+            raise ConfigurationError("node fault plans need >= 1 node")
+        durations = {
+            "node_crash": crash_ns,
+            "node_slow": slow_ns,
+            "replica_lag": lag_ns,
+        }
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        for kind in sorted(rates_per_ms):
+            rate = rates_per_ms[kind]
+            if kind not in NODE_FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown node fault kind {kind!r} "
+                    f"(choose from {', '.join(NODE_FAULT_KINDS)})"
+                )
+            if rate < 0:
+                raise ConfigurationError(f"rate for {kind!r} must be >= 0")
+            if rate == 0:
+                continue
+            mean_gap = 1e6 / rate  # ns between events
+            now = rng.expovariate(1.0) * mean_gap
+            while now < duration_ns:
+                severity = slow_factor if kind == "node_slow" else 1
+                events.append(FaultEvent(
+                    kind, now, severity, durations[kind],
+                    target=rng.randrange(n_nodes),
+                ))
+                now += rng.expovariate(1.0) * mean_gap
+        return cls(events=tuple(events), seed=seed)
+
     def count(self, kind: str = None) -> int:
         if kind is None:
             return len(self.events)
@@ -189,7 +280,9 @@ class FaultInjector:
         self.stats = StatSet(name)
         self.rng = random.Random(plan.seed ^ 0x5EED)
         self.log: List[Tuple[float, float, str]] = []
-        self._pending: Dict[str, List[FaultEvent]] = {k: [] for k in FAULT_KINDS}
+        self._pending: Dict[str, List[FaultEvent]] = {
+            k: [] for k in ALL_FAULT_KINDS
+        }
         # Per-kind queues in reverse time order so draw() pops from the end.
         for event in sorted(plan.events, key=lambda e: -e.at_ns):
             self._pending[event.kind].append(event)

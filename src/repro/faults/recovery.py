@@ -119,6 +119,16 @@ class CircuitBreaker:
         self._probing = False
         self.state = CLOSED
 
+    def release_probe(self) -> None:
+        """Give back an admitted probe slot without a verdict.
+
+        The cluster tier abandons in-flight attempts when a hedge or a
+        deadline wins the race; an abandoned HALF_OPEN probe concluded
+        nothing, so the slot reopens for the next request instead of
+        wedging the breaker in a forever-probing state.
+        """
+        self._probing = False
+
     def record_failure(self, now: float) -> None:
         self._probing = False
         if self.state == HALF_OPEN:

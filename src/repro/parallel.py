@@ -39,11 +39,16 @@ from __future__ import annotations
 
 import multiprocessing
 import zlib
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from .config import DEFAULT_PARALLEL, ParallelConfig
+from .config import DEFAULT_PARALLEL, PARALLEL_MODES, ParallelConfig
 from .faults import DEFAULT_RECOVERY, RecoveryPolicy
 from .sim.stats import StatSet
 
@@ -160,11 +165,45 @@ def _make_batches(
             for lo in range(0, n_items, batch_size)]
 
 
+def _fork_available() -> bool:
+    """Whether this platform can fork workers (vs re-importing via spawn)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
+        "fork" if _fork_available() else "spawn"
     )
+
+
+def _run_batch_plain(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    """The thread-pool batch body: the reference loop, nothing else.
+
+    Per-batch cache deltas are meaningless across concurrent threads
+    (their before/after windows overlap), so the thread path measures one
+    whole-dispatch delta in the caller instead.
+    """
+    return [fn(item) for item in items]
+
+
+def _choose_mode(mode: str, n_items: int, n_jobs: int,
+                 cfg: ParallelConfig, stats: StatSet) -> str:
+    """Resolve "auto" to an executor by the measured break-even points.
+
+    Inline below ``cfg.inline_below`` items (pool spin-up measured as a
+    0.97x *loss* there), threads up to ``cfg.process_below`` items or
+    whenever ``fork`` is unavailable (spawn re-imports the interpreter
+    state per worker — the fork-hostile-platform loss), processes once
+    the sweep is big enough to amortize the fork pool.
+    """
+    if mode != "auto":
+        return mode
+    if n_items < cfg.inline_below:
+        stats.bump("parallel_inline_fallback")
+        return "inline"
+    if not _fork_available() or n_items < cfg.process_below:
+        return "thread"
+    return "process"
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +219,7 @@ def parallel_map(
     config: Optional[ParallelConfig] = None,
     recovery: Optional[RecoveryPolicy] = None,
     stats: Optional[StatSet] = None,
+    mode: Optional[str] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]``, sharded across ``jobs`` processes.
 
@@ -199,34 +239,74 @@ def parallel_map(
     propagate unchanged on first occurrence.
 
     ``stats`` (optional) receives dispatch telemetry: task/batch counts,
-    worker restarts, inline fallbacks and the workers' cache-traffic
-    deltas (``timing_hits``/``timing_lookups``/...).
+    worker restarts, inline fallbacks, the chosen executor
+    (``mode_inline``/``mode_thread``/``mode_process``) and the workers'
+    cache-traffic deltas (``timing_hits``/``timing_lookups``/...).
+
+    ``mode`` (or ``config.mode``) picks the executor: ``"process"`` is
+    the fork pool, ``"thread"`` a thread pool over the same batch body
+    (bit-identical results, no fork, no cache shipment — the small-host
+    and fork-hostile-platform path), ``"inline"`` the reference loop, and
+    ``"auto"`` selects by the measured break-even batch sizes
+    (``config.inline_below`` / ``config.process_below``).
     """
     cfg = config or DEFAULT_PARALLEL
     cfg.validate()
     policy = recovery or DEFAULT_RECOVERY
     if stats is None:
         stats = StatSet("parallel")  # recorded, then discarded
+    requested = mode if mode is not None else cfg.mode
+    if requested not in PARALLEL_MODES:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown parallel mode {requested!r} "
+            f"(choose from {', '.join(PARALLEL_MODES)})"
+        )
     items = list(items)
     n_jobs = resolve_jobs(jobs if jobs is not None else cfg.jobs)
     stats.set_gauge("jobs", n_jobs)
     if items:
         stats.bump("tasks", len(items))
 
-    inline = _IN_WORKER or n_jobs <= 1 or len(items) <= 1
-    if not inline and len(items) < cfg.inline_below:
-        # Below break-even: pool spin-up costs more than it buys on a
-        # sweep this small (measured 0.97x at two items), so run inline.
-        # Results are bit-identical either way; only the clock differs.
-        stats.bump("parallel_inline_fallback")
-        inline = True
-    if inline:
+    if _IN_WORKER or n_jobs <= 1 or len(items) <= 1:
+        chosen = "inline"
+    else:
+        chosen = _choose_mode(requested, len(items), n_jobs, cfg, stats)
+    stats.bump("mode_" + chosen)
+    if chosen == "inline":
         results, delta = _execute_batch(fn, items)
         _record_delta(stats, delta)
         stats.bump("batches")
         return results
 
     batches = _make_batches(len(items), n_jobs, batch_size or cfg.batch_size)
+    if chosen == "thread":
+        # Threads share the parent's caches (traffic lands in the
+        # parent's own counters), so the delta is measured once around
+        # the whole dispatch — per-batch windows would overlap.
+        before = _cache_counts()
+        results: List[Optional[R]] = [None] * len(items)
+        with ThreadPoolExecutor(
+            max_workers=min(n_jobs, len(batches))
+        ) as pool:
+            futures = [
+                (span, pool.submit(_run_batch_plain, fn,
+                                   [items[i] for i in span]))
+                for span in batches
+            ]
+            for span, future in futures:
+                for index, value in zip(span, future.result()):
+                    results[index] = value
+                stats.bump("batches")
+        after = _cache_counts()
+        _record_delta(stats, {
+            "timing_hits": after[0] - before[0],
+            "timing_misses": after[1] - before[1],
+            "profile_hits": after[2] - before[2],
+            "profile_misses": after[3] - before[3],
+        })
+        return results  # type: ignore[return-value]
     results: List[Optional[R]] = [None] * len(items)
     pending: List[range] = list(batches)
     shipment = _export_caches() if cfg.ship_caches else None

@@ -36,6 +36,7 @@ from .scheduler import (
     Port,
     SchedulerPolicy,
     make_scheduler,
+    policy_names,
 )
 from .service import ServingReport, ServingSystem, TenantSLO
 from .workload import (
@@ -69,6 +70,7 @@ __all__ = [
     "WorkloadProfile",
     "default_tenants",
     "make_scheduler",
+    "policy_names",
     "port_program_ns",
     "profile_workload",
 ]

@@ -41,6 +41,17 @@ from .workload import Request
 POLICIES = ("fcfs", "ctx-switch", "multi-port")
 
 
+def policy_names() -> List[str]:
+    """Scheduler policy names, for CLI help text and usage errors.
+
+    Mirrors :func:`repro.query.engines.engine_names`: the CLI lists
+    policies from here, so a policy added to :data:`POLICIES` and
+    :func:`make_scheduler` shows up in ``--help`` and error messages
+    without touching the CLI.
+    """
+    return list(POLICIES)
+
+
 @dataclass
 class Port:
     """One engine context: the descriptor it currently holds."""

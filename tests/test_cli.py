@@ -301,10 +301,15 @@ def test_serve_config_unknown_key():
     assert text.startswith("error:") and "warp_drive" in text
 
 
-def test_serve_bad_policy_choice():
+def test_serve_bad_policy_lists_registry_names():
     code, text = serve_cli("--policy", "lifo")
     assert code == 2
-    assert text.startswith("error:") and "invalid choice" in text
+    line = one_line(text)
+    assert line.startswith("error:") and "'lifo'" in line
+    # Registry-driven, not an argparse choices= literal: every scheduler
+    # name appears in the one-line message.
+    for name in ("fcfs", "ctx-switch", "multi-port"):
+        assert name in line
 
 
 def test_serve_ports_rejected_for_single_port_policy():
@@ -417,3 +422,61 @@ def test_perf_speedup_floor_enforced(tmp_path):
     )
     assert code == 1
     assert "below the" in text and "acceptance floor" in text
+
+
+# -- cluster ----------------------------------------------------------------------
+
+
+def cluster_cli(*extra):
+    return run_cli("cluster", "--smoke", *extra)
+
+
+def test_cluster_smoke_clean():
+    code, text = cluster_cli()
+    assert code == 0
+    assert "availability 100.0%" in text
+    assert "byte-identical to the fault-free golden answers" in text
+    assert "smoke ok" in text
+
+
+def test_cluster_smoke_node_crash_stays_available():
+    code, text = cluster_cli("--fault-plan", "node-crash")
+    assert code == 0
+    assert "smoke ok" in text
+    assert "byte-identical to the fault-free golden answers" in text
+
+
+def test_cluster_bad_routing_lists_registry_names():
+    code, text = cluster_cli("--routing", "mod-n")
+    assert code == 2
+    line = one_line(text)
+    assert "'mod-n'" in line
+    for name in ("consistent-hash", "range"):
+        assert name in line
+
+
+def test_cluster_bad_policy_lists_registry_names():
+    code, text = cluster_cli("--policy", "lifo")
+    assert code == 2
+    line = one_line(text)
+    assert "'lifo'" in line
+    for name in ("fcfs", "ctx-switch", "multi-port"):
+        assert name in line
+
+
+def test_cluster_json_format_dumps_merged_registry():
+    import json
+
+    code, text = cluster_cli("--format", "json")
+    assert code == 0
+    payload = json.loads(text)
+    assert "slo" in payload and "router" in payload
+
+
+def test_cluster_no_failover_baseline_runs():
+    code, text = run_cli(
+        "cluster", "--requests", "80", "--rows", "128", "--tenants", "2",
+        "--nodes", "2", "--no-failover", "--no-hedging",
+    )
+    assert code == 0
+    assert "failover=off" in text and "hedging=off" in text

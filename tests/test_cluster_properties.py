@@ -1,0 +1,102 @@
+"""Property tests for the cluster tier: determinism and merge algebra.
+
+Two promises, pinned across routing policies, fault plans and seeds:
+
+* **seed determinism** — a cluster run is a pure function of its
+  configuration: same seed, same fault plan, same workload ⇒ the
+  identical failover event log, fingerprint for fingerprint;
+* **node-tier merge algebra** — the PR-5 instrument algebra survives
+  the cluster: merging every node's ``MetricsRegistry`` with the
+  router's reports latency percentiles bit-equal to one histogram that
+  observed every answered request directly (log-linear integer buckets
+  add exactly, so sharding the serve across nodes loses nothing).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSystem
+from repro.faults import FaultPlan
+from repro.serve import OpenLoopWorkload, default_tenants, profile_workload
+from repro.sim.stats import Histogram
+
+_CACHE = {}
+
+
+def _profile():
+    if "profile" not in _CACHE:
+        tenants = default_tenants(n_tenants=2, n_rows=128, seed=7)
+        _CACHE["profile"] = (tenants, profile_workload(tenants))
+    return _CACHE["profile"]
+
+
+def _run(routing, seed, crash, n_requests=80):
+    tenants, profile = _profile()
+    rate = 0.6 * 2 * profile.saturation_rate_qps()
+    plan = None
+    if crash:
+        plan = FaultPlan.node_poisson(
+            duration_ns=1e9 * n_requests / rate, n_nodes=2,
+            rates_per_ms={"node_crash": 3.0}, seed=seed,
+        )
+    system = ClusterSystem(
+        profile, n_nodes=2, routing=routing, fault_plan=plan
+    )
+    workload = OpenLoopWorkload(
+        tenants, rate_qps=rate, n_requests=n_requests, seed=seed
+    )
+    return system.run(workload)
+
+
+routing_st = st.sampled_from(("consistent-hash", "range"))
+
+
+@settings(max_examples=10, deadline=None)
+@given(routing=routing_st, seed=st.integers(min_value=0, max_value=2**16),
+       crash=st.booleans())
+def test_same_seed_identical_event_log_and_fingerprint(routing, seed, crash):
+    first = _run(routing, seed, crash)
+    second = _run(routing, seed, crash)
+    assert first.events == second.events
+    assert first.fingerprint() == second.fingerprint()
+    assert first.availability == second.availability
+
+
+_PERCENTILES = (0, 25, 50, 75, 90, 95, 99, 100)
+
+
+def _distribution(h):
+    return (h.count, h.min, h.max,
+            tuple(h.percentile(p) for p in _PERCENTILES))
+
+
+@settings(max_examples=10, deadline=None)
+@given(routing=routing_st, seed=st.integers(min_value=0, max_value=2**16),
+       crash=st.booleans())
+def test_merged_node_percentiles_bit_equal_unsharded(routing, seed, crash):
+    report = _run(routing, seed, crash)
+    # The unsharded reference: one histogram that saw every answered
+    # request's latency directly, no node tier in between.
+    reference = Histogram("latency_ns")
+    answered = [r for r in report.records
+                if r.state in ("served", "degraded")]
+    for record in answered:
+        reference.observe(record.finish_ns - record.arrival_ns)
+    merged = report.merged.statset("slo").histogram("latency_ns")
+    assert merged.count == report.served == len(answered)
+    assert _distribution(merged) == _distribution(reference)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_routing_changes_placement_not_answers(seed):
+    tenants, profile = _profile()
+    golden = {(spec.name, template):
+              profile.profile(spec.name, template).value
+              for spec in tenants for template, _query in spec.templates}
+    for routing in ("consistent-hash", "range"):
+        report = _run(routing, seed, crash=True)
+        for record in report.records:
+            if record.state in ("served", "degraded"):
+                assert record.value == golden[(record.tenant,
+                                               record.template)]

@@ -272,3 +272,92 @@ def test_no_regions_mapped_error_says_so():
     hier = MemoryHierarchy(sim, ZCU102)
     with pytest.raises(MemoryMapError, match="no regions are mapped"):
         hier.route(0x1000)
+
+
+# -- circuit breaker state machine ------------------------------------------------
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    from repro.faults.recovery import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+    breaker = CircuitBreaker(threshold=2, cooldown_ns=1000.0)
+    assert breaker.state == CLOSED
+    breaker.record_failure(0.0)
+    breaker.record_failure(10.0)
+    assert breaker.state == OPEN and breaker.opens == 1
+    # Cooldown not yet elapsed: requests stay rejected.
+    assert not breaker.allow(500.0)
+    # Cooldown elapsed: exactly one probe is admitted...
+    assert breaker.allow(1500.0)
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow(1500.0)  # ...and only one
+    # The probe fails -> straight back to OPEN, cooldown restarted.
+    breaker.record_failure(1600.0)
+    assert breaker.state == OPEN and breaker.opens == 2
+    assert not breaker.allow(1700.0)
+    # Second probe succeeds -> CLOSED, traffic flows again.
+    assert breaker.allow(2700.0)
+    breaker.record_success(2800.0)
+    assert breaker.state == CLOSED
+    assert breaker.allow(2900.0)
+
+
+def test_breaker_release_probe_reopens_the_slot():
+    from repro.faults.recovery import HALF_OPEN, CircuitBreaker
+
+    breaker = CircuitBreaker(threshold=1, cooldown_ns=100.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(200.0)  # the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow(200.0)
+    # The probe was abandoned (hedge won the race): without a verdict
+    # the slot must reopen, or the breaker wedges forever-probing.
+    breaker.release_probe()
+    assert breaker.allow(201.0)
+    assert breaker.state == HALF_OPEN
+
+
+# -- node-level fault plans -------------------------------------------------------
+
+
+def test_node_fault_event_validation():
+    from repro.faults import NODE_FAULT_KINDS
+
+    assert NODE_FAULT_KINDS == ("node_crash", "node_slow", "replica_lag")
+    event = FaultEvent(at_ns=10.0, kind="node_crash", target=1)
+    assert event.target == 1
+    with pytest.raises(Exception):
+        FaultEvent(at_ns=10.0, kind="node_crash")  # node kinds need a target
+    with pytest.raises(Exception):
+        FaultEvent(at_ns=10.0, kind="node_crash", target=-2)
+    # Engine-level kinds don't take targets but tolerate the default.
+    engine_event = FaultEvent(at_ns=5.0, kind="dram_bitflip")
+    assert engine_event.target == -1
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_node_poisson_seed_deterministic(seed):
+    kwargs = dict(
+        duration_ns=500_000.0, n_nodes=3,
+        rates_per_ms={"node_crash": 2.0, "node_slow": 3.0,
+                      "replica_lag": 3.0},
+    )
+    a = FaultPlan.node_poisson(seed=seed, **kwargs)
+    b = FaultPlan.node_poisson(seed=seed, **kwargs)
+    assert [(e.at_ns, e.kind, e.target, e.severity) for e in a.events] \
+        == [(e.at_ns, e.kind, e.target, e.severity) for e in b.events]
+    for event in a.events:
+        assert 0 <= event.target < 3
+        assert 0.0 <= event.at_ns <= 500_000.0
+
+
+def test_node_poisson_different_seeds_differ():
+    kwargs = dict(
+        duration_ns=2_000_000.0, n_nodes=4,
+        rates_per_ms={"node_crash": 5.0},
+    )
+    a = FaultPlan.node_poisson(seed=1, **kwargs)
+    b = FaultPlan.node_poisson(seed=2, **kwargs)
+    assert [(e.at_ns, e.target) for e in a.events] \
+        != [(e.at_ns, e.target) for e in b.events]

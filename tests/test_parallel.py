@@ -297,7 +297,9 @@ def test_small_sweeps_fall_back_inline():
 
 def test_crashed_workers_fall_back_inline():
     stats = StatSet("dispatch")
-    config = ParallelConfig(max_restarts=1)
+    # Worker-crash recovery is a process-pool concern; pin the mode so
+    # auto-selection can't route this small sweep through threads.
+    config = ParallelConfig(max_restarts=1, mode="process")
     results = parallel_map(
         _crash_in_worker, list(range(6)), jobs=2, config=config, stats=stats,
     )
@@ -312,7 +314,7 @@ def test_crashed_worker_retry_succeeds_within_budget():
         stats = StatSet("dispatch")
         results = parallel_map(
             _crash_once, items, jobs=2, batch_size=1, stats=stats,
-            config=ParallelConfig(inline_below=1),
+            config=ParallelConfig(inline_below=1, mode="process"),
         )
         assert results == [0, 10]
         assert stats.counter("worker_restarts").count >= 1
@@ -324,12 +326,79 @@ def test_disabled_recovery_means_no_restarts():
     stats = StatSet("dispatch")
     results = parallel_map(
         _crash_in_worker, list(range(4)), jobs=2, recovery=policy,
-        stats=stats,
+        stats=stats, mode="process",
     )
     # No restart budget: the first broken pool degrades straight to inline.
     assert results == [x + 100 for x in range(4)]
     assert stats.counter("worker_restarts").count == 0
     assert stats.counter("inline_fallbacks").count == 1
+
+
+# ---------------------------------------------------------------------------
+# shard modes: thread pools and break-even auto-selection
+# ---------------------------------------------------------------------------
+
+
+def test_thread_mode_matches_inline_and_process():
+    items = list(range(17))
+    expected = [_square(x) for x in items]
+    assert parallel_map(_square, items, jobs=2, mode="thread") == expected
+    assert parallel_map(_square, items, jobs=2, mode="inline") == expected
+    assert parallel_map(_square, items, jobs=2, mode="process") == expected
+
+
+def test_thread_mode_records_dispatch_stats():
+    stats = StatSet("dispatch")
+    parallel_map(_square, list(range(12)), jobs=3, mode="thread", stats=stats)
+    assert stats.counter("mode_thread").count == 1
+    assert stats.counter("tasks").total == 12
+    assert stats.counter("batches").count >= 1
+
+
+def test_auto_mode_selects_by_break_even():
+    # Large sweeps amortize process forking; auto picks the pool.
+    stats = StatSet("dispatch")
+    parallel_map(_square, list(range(20)), jobs=2, stats=stats,
+                 config=ParallelConfig(mode="auto", process_below=8))
+    assert stats.counter("mode_process").count == 1
+
+    # Between inline_below and process_below, threads win: no fork cost,
+    # and the sweep is too small to amortize worker spawn.
+    stats = StatSet("dispatch")
+    parallel_map(_square, list(range(6)), jobs=2, stats=stats,
+                 config=ParallelConfig(mode="auto", process_below=8))
+    assert stats.counter("mode_thread").count == 1
+
+    # Below inline_below the dispatch stays in-process entirely.
+    stats = StatSet("dispatch")
+    parallel_map(_square, [1, 2], jobs=2, stats=stats,
+                 config=ParallelConfig(mode="auto", process_below=8))
+    assert stats.counter("mode_inline").count == 1
+    assert stats.counter("parallel_inline_fallback").count == 1
+
+
+def test_mode_kwarg_overrides_config():
+    stats = StatSet("dispatch")
+    parallel_map(_square, list(range(20)), jobs=2, mode="thread", stats=stats,
+                 config=ParallelConfig(mode="process"))
+    assert stats.counter("mode_thread").count == 1
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigurationError, match="unknown parallel mode"):
+        parallel_map(_square, [1, 2, 3, 4], jobs=2, mode="bogus")
+    with pytest.raises(ConfigurationError, match="unknown parallel mode"):
+        parallel_map(_square, [1, 2, 3, 4], jobs=2,
+                     config=ParallelConfig(mode="bogus"))
+    with pytest.raises(ConfigurationError, match="process_below"):
+        parallel_map(_square, [1, 2, 3, 4], jobs=2,
+                     config=ParallelConfig(process_below=0))
+
+
+def test_thread_mode_propagates_exceptions():
+    with pytest.raises(ValueError, match="bad item"):
+        parallel_map(_boom, [1, 2, 3], jobs=2, mode="thread",
+                     config=ParallelConfig(inline_below=1))
 
 
 # ---------------------------------------------------------------------------
