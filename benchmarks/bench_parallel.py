@@ -53,10 +53,6 @@ def bench_parallel_fig06(benchmark):
     single_s, single = benchmark.pedantic(
         _timed_sweep, args=(1,), rounds=1, iterations=1
     )
-    sharded_s, sharded = _timed_sweep(jobs)
-
-    identical = (single.xs == sharded.xs and single.series == sharded.series)
-    speedup = single_s / sharded_s if sharded_s else float("inf")
 
     report = {
         "benchmark": "sharded dispatch wall-clock",
@@ -64,12 +60,46 @@ def bench_parallel_fig06(benchmark):
         "cores": cores,
         "jobs": jobs,
         "single_process_s": round(single_s, 4),
-        "sharded_s": round(sharded_s, 4),
-        "speedup": round(speedup, 3),
-        "identical": identical,
         "floor_asserted": cores >= MIN_CORES_FOR_FLOOR,
     }
     out = pathlib.Path("BENCH_parallel.json")
+
+    if cores < 2:
+        # A 1-core host has no parallelism to measure: timing the
+        # sharded sweep would benchmark dispatch overhead, not speedup.
+        # The bit-identity contract still holds on any host (the
+        # break-even probe routes jobs=N inline here), so assert that
+        # with an untimed run and record why the ratio is absent.
+        sharded = fig06_q1_designs(jobs=jobs, **_sweep_kwargs())
+        identical = (single.xs == sharded.xs
+                     and single.series == sharded.series)
+        report.update({
+            "sharded_s": None,
+            "speedup": None,
+            "identical": identical,
+            "skip_reason": (
+                f"host has {cores} usable core(s); the sharded timing "
+                "comparison needs at least 2"
+            ),
+        })
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print()
+        print(f"fig06 sweep: jobs=1 {single_s:.2f}s; sharded comparison "
+              f"skipped ({cores} core host), identity checked")
+        print(f"wrote {out}")
+        assert identical, \
+            "sharded fig06 diverged from the single-process sweep"
+        return
+
+    sharded_s, sharded = _timed_sweep(jobs)
+    identical = (single.xs == sharded.xs and single.series == sharded.series)
+    speedup = single_s / sharded_s if sharded_s else float("inf")
+
+    report.update({
+        "sharded_s": round(sharded_s, 4),
+        "speedup": round(speedup, 3),
+        "identical": identical,
+    })
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print()
     print(f"fig06 sweep: jobs=1 {single_s:.2f}s, jobs={jobs} {sharded_s:.2f}s "

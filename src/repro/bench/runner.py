@@ -8,6 +8,7 @@ the methodology behind the paper's cold/hot bars in Figure 6.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,6 +80,65 @@ class FigureResult:
         return [n / d if d else 0.0 for n, d in zip(num, den)]
 
 
+#: Recorded CPU-baseline measurements, keyed by everything they depend
+#: on: the platform with ``fastpath`` stripped (the flag only changes the
+#: RME engine), the buffer capacity, the scan kind, the packed table
+#: bytes, the query text, and the fetch column list. The direct and
+#: columnar paths contain no RME epochs, so the fast-forward layer cannot
+#: collapse them from inside; instead they are *recorded* the first time
+#: they run (at cycle level — any run populates the memo) and *replayed*
+#: verbatim when ``platform.fastpath`` is set. Replay is trivially
+#: bit-identical: the stored :class:`QueryResult` is the cycle-level one.
+_BASELINE_MEMO: Dict[tuple, QueryResult] = {}
+_BASELINE_MEMO_MAX = 128
+
+#: Hit/miss tallies for the ``repro perf --profile`` report.
+BASELINE_MEMO_TALLY: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def _baseline_key(
+    platform: PlatformConfig,
+    buffer_capacity: Optional[int],
+    kind: str,
+    table: RowTable,
+    query: Query,
+    columns: Optional[Sequence[str]] = None,
+) -> tuple:
+    return (
+        dataclasses.replace(platform, fastpath=False),
+        buffer_capacity,
+        kind,
+        table.name,
+        table.raw_bytes(),
+        query.name,
+        query.sql,
+        query.select,
+        tuple(columns) if columns is not None else None,
+    )
+
+
+def _baseline_replay(key: tuple, fastpath: bool) -> Optional[QueryResult]:
+    """The recorded measurement for ``key``, if replay is allowed."""
+    if not fastpath:
+        return None
+    result = _BASELINE_MEMO.get(key)
+    if result is None:
+        BASELINE_MEMO_TALLY["misses"] += 1
+        return None
+    BASELINE_MEMO_TALLY["hits"] += 1
+    # Shallow-copy so a caller mutating ``cache_stats`` cannot poison the
+    # recording for later replays.
+    return dataclasses.replace(
+        result, cache_stats={k: dict(v) for k, v in result.cache_stats.items()}
+    )
+
+
+def _baseline_record(key: tuple, result: QueryResult) -> None:
+    if len(_BASELINE_MEMO) >= _BASELINE_MEMO_MAX:
+        _BASELINE_MEMO.pop(next(iter(_BASELINE_MEMO)))
+    _BASELINE_MEMO[key] = result
+
+
 class ExperimentRunner:
     """Times queries over every access path on freshly built platforms."""
 
@@ -100,12 +160,24 @@ class ExperimentRunner:
         return RelationalMemorySystem(self.platform, design, **kwargs)
 
     def time_direct(self, table: RowTable, query: Query) -> QueryResult:
-        """Time the all-CPU tree: row-store scan, no transfers."""
+        """Time the all-CPU tree: row-store scan, no transfers.
+
+        A deterministic baseline with no RME epochs: under
+        ``platform.fastpath`` a previously recorded run of the same
+        (platform, table, query) is replayed instead of re-simulated.
+        """
+        key = _baseline_key(self.platform, self.buffer_capacity, "direct",
+                            table, query)
+        replay = _baseline_replay(key, self.platform.fastpath)
+        if replay is not None:
+            return replay
         system = self._system(MLP)
         loaded = system.load_table(table)
         processor = Processor(system)
         plan = processor.plan(query, loaded, engine=CPU)
-        return processor.execute(plan.relation, loaded=loaded)
+        result = processor.execute(plan.relation, loaded=loaded)
+        _baseline_record(key, result)
+        return result
 
     def time_columnar(
         self, table: RowTable, query: Query, group_columns: Optional[Sequence[str]] = None
@@ -114,16 +186,25 @@ class ExperimentRunner:
 
         ``group_columns`` widens the fetch projection beyond the query's
         footprint (the projectivity sweeps scan wider groups on purpose).
+        Like :meth:`time_direct`, recorded runs are replayed under
+        ``platform.fastpath``.
         """
+        columns = list(group_columns or query.columns())
+        key = _baseline_key(self.platform, self.buffer_capacity,
+                            "columnar", table, query, columns)
+        replay = _baseline_replay(key, self.platform.fastpath)
+        if replay is not None:
+            return replay
         system = self._system(MLP)
         loaded = system.load_table(table)
-        columns = list(group_columns or query.columns())
         columnar = system.load_column_group(table, columns)
         processor = Processor(system)
         plan = processor.plan(query, loaded, engine=COLUMNAR,
                               fetch_columns=columns)
-        return processor.execute(plan.relation, loaded=loaded,
-                                 columnar=columnar)
+        result = processor.execute(plan.relation, loaded=loaded,
+                                   columnar=columnar)
+        _baseline_record(key, result)
+        return result
 
     def time_rme(
         self,

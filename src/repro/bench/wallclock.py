@@ -17,6 +17,10 @@ Scenarios:
   cycle-level experiment and the acceptance target (>= 3x).
 * ``serving`` — multi-tenant profiling plus one scheduled serving run,
   compared via the report's determinism fingerprint.
+* ``windowed`` — a projection larger than the reorganization buffer
+  (one fast-forwarded epoch per window).
+* ``multirun`` — non-contiguous columns (a multi-run geometry).
+* ``pushdown`` — a hardware aggregation plus a single-lane selection.
 
 The caches that make repeated runs fast (the descriptor timing memo and
 the serving profile memo) are invalidated before each measurement, so
@@ -38,7 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..config import ZCU102, PlatformConfig
 from ..errors import SimulationError
 from ..parallel import WORKER_CACHE_TRAFFIC
-from ..sim.fastpath import TIMING_CACHE
+from ..sim.fastpath import FALLBACK_TALLY, TIMING_CACHE
 from .figures import fig01_projectivity, fig06_q1_designs
 
 #: The platform pair every scenario is timed under.
@@ -51,17 +55,30 @@ FIG06_MIN_SPEEDUP = 3.0
 
 @dataclass(frozen=True)
 class ScenarioTiming:
-    """One scenario's paired measurement."""
+    """One scenario's paired measurement.
+
+    ``cache_hits``/``cache_misses`` count timing-memo traffic during the
+    fast run; ``fallbacks`` tallies the ``fastpath_fallback_<reason>``
+    bumps it caused (``repro perf --profile`` renders both).
+    """
 
     name: str
     cycle_s: float
     fast_s: float
     identical: bool
     fastpath_hits: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fallbacks: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
         return self.cycle_s / self.fast_s if self.fast_s else float("inf")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -71,6 +88,8 @@ class ScenarioTiming:
             "speedup": round(self.speedup, 3),
             "identical": self.identical,
             "fastpath_hits": self.fastpath_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 3),
+            "fallbacks": dict(sorted(self.fallbacks.items())),
         }
 
 
@@ -112,6 +131,47 @@ class WallclockReport:
             ["scenario", "cycle-level s", "fastpath s", "speedup",
              "identical", "ff epochs"], rows,
         )
+
+    def render_profile(self) -> str:
+        """The ``repro perf --profile`` view: per-scenario timing-memo
+        hit rates plus the process-wide fallback tally, most-frequent
+        reason first — the worklist for growing fastpath coverage."""
+        from .report import render_table
+
+        rows = [
+            [t.name, str(t.cache_hits), str(t.cache_misses),
+             f"{t.cache_hit_rate:.0%}"]
+            for t in self.scenarios
+        ]
+        lines = [render_table(
+            ["scenario", "memo hits", "memo misses", "hit rate"], rows,
+        )]
+        tally: Dict[str, int] = {}
+        for t in self.scenarios:
+            for reason, count in t.fallbacks.items():
+                tally[reason] = tally.get(reason, 0) + count
+        if tally:
+            fb_rows = [
+                [reason, str(count)]
+                for reason, count in sorted(
+                    tally.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ]
+            lines.append(render_table(
+                ["fastpath fallback reason", "epochs"], fb_rows,
+            ))
+        else:
+            lines.append("no fastpath fallbacks: every epoch fast-forwarded")
+        from .runner import BASELINE_MEMO_TALLY
+
+        hits = BASELINE_MEMO_TALLY["hits"]
+        misses = BASELINE_MEMO_TALLY["misses"]
+        if hits or misses:
+            lines.append(
+                f"CPU-baseline measurement memo: {hits} replayed, "
+                f"{misses} recorded fresh under fastpath"
+            )
+        return "\n".join(lines)
 
 
 def _fresh_caches() -> None:
@@ -173,11 +233,96 @@ def _scenario_serving(quick: bool, jobs: Optional[int]) -> Callable[[PlatformCon
     return run
 
 
+def _scenario_windowed(quick: bool, jobs: Optional[int]) -> Callable[[PlatformConfig], object]:
+    """A projection larger than the reorganization buffer: every window is
+    a separate fast-forwarded epoch (previously the largest fallback)."""
+    n_rows, capacity = (512, 512) if quick else (4096, 2048)
+
+    def run(platform: PlatformConfig):
+        from .. import QueryExecutor, RelationalMemorySystem
+        from ..query.queries import q1
+        from ..rme.designs import MLP
+        from .workloads import make_relation
+
+        table = make_relation(n_rows=n_rows)
+        system = RelationalMemorySystem(platform, MLP,
+                                        buffer_capacity=capacity)
+        loaded = system.load_table(table)
+        var = system.register_var(loaded, ["A1"], windowed=True)
+        result = QueryExecutor(system).run_rme(q1("A1"), var)
+        return {
+            "elapsed_ns": result.elapsed_ns,
+            "value": result.value,
+            "windows": system.rme.n_windows,
+            "switches": system.rme.stats.count("window_switches"),
+        }
+
+    return run
+
+
+def _scenario_multirun(quick: bool, jobs: Optional[int]) -> Callable[[PlatformConfig], object]:
+    """Non-contiguous columns (a MultiRMEConfig with several runs)."""
+    n_rows = 512 if quick else 2048
+
+    def run(platform: PlatformConfig):
+        from .. import QueryExecutor, RelationalMemorySystem
+        from ..query.queries import q2
+        from ..rme.designs import MLP
+        from .workloads import make_relation
+
+        table = make_relation(n_rows=n_rows)
+        system = RelationalMemorySystem(platform, MLP)
+        loaded = system.load_table(table)
+        var = system.register_var(loaded, ["A1", "A3"],
+                                  allow_noncontiguous=True)
+        result = QueryExecutor(system).run_rme(q2("A1", "A3"), var)
+        return {"elapsed_ns": result.elapsed_ns, "value": result.value}
+
+    return run
+
+
+def _scenario_pushdown(quick: bool, jobs: Optional[int]) -> Callable[[PlatformConfig], object]:
+    """Hardware pushdown sinks: an aggregation (cacheable reduction
+    replay) plus a single-lane selection (content-dependent, uncached)."""
+    n_rows = 128 if quick else 1024
+
+    def run(platform: PlatformConfig):
+        from .. import QueryExecutor, RelationalMemorySystem
+        from ..query.queries import q1
+        from ..rme.designs import MLP, PCK
+        from .workloads import make_relation
+
+        table = make_relation(n_rows=n_rows)
+        agg_sys = RelationalMemorySystem(platform, MLP)
+        loaded = agg_sys.load_table(table)
+        avar = agg_sys.register_hw_aggregate(loaded, "A1", "sum")
+        agg_sys.warm_up(avar)
+
+        sel_sys = RelationalMemorySystem(platform, PCK)
+        loaded = sel_sys.load_table(table)
+        fvar = sel_sys.register_filtered_var(loaded, ["A1"], "A1", "<", 0)
+        sel_sys.warm_up(fvar)
+        sel_sys.flush_caches()
+        result = QueryExecutor(sel_sys).run_rme(q1("A1"), fvar)
+        return {
+            "aggregate": agg_sys.rme.aggregate_result(),
+            "agg_now": agg_sys.sim.now,
+            "matches": sel_sys.rme.match_count,
+            "elapsed_ns": result.elapsed_ns,
+            "value": result.value,
+        }
+
+    return run
+
+
 #: name -> scenario builder; order is the report order.
 SCENARIOS: Dict[str, Callable[[bool, Optional[int]], Callable]] = {
     "fig01": _scenario_fig01,
     "fig06": _scenario_fig06,
     "serving": _scenario_serving,
+    "windowed": _scenario_windowed,
+    "multirun": _scenario_multirun,
+    "pushdown": _scenario_pushdown,
 }
 
 
@@ -236,9 +381,16 @@ def run_wallclock(
         if progress:
             progress(f"{name}: fast-forward run ...")
         lookups_before = _timing_lookups()
+        cache_before = (TIMING_CACHE.hits, TIMING_CACHE.misses)
+        tally_before = dict(FALLBACK_TALLY)
         fast_s, fast_snap = _measure(run, FAST_FORWARD)
         # One timing-memo lookup happens per fast-forwarded epoch.
         hits = _timing_lookups() - lookups_before
+        fallbacks = {
+            reason: count - tally_before.get(reason, 0)
+            for reason, count in FALLBACK_TALLY.items()
+            if count > tally_before.get(reason, 0)
+        }
         identical = cycle_snap == fast_snap
         if not identical:
             raise SimulationError(
@@ -249,6 +401,9 @@ def run_wallclock(
         timings.append(ScenarioTiming(
             name=name, cycle_s=cycle_s, fast_s=fast_s,
             identical=identical, fastpath_hits=hits,
+            cache_hits=TIMING_CACHE.hits - cache_before[0],
+            cache_misses=TIMING_CACHE.misses - cache_before[1],
+            fallbacks=fallbacks,
         ))
         if progress:
             progress(f"{name}: {cycle_s:.2f}s -> {fast_s:.2f}s "

@@ -84,14 +84,14 @@ def make_listing1_table(n_rows: int, seed: int = 42) -> RowTable:
         return RowTable.from_raw("the_table", schema, raw)
     table = RowTable("the_table", schema)
     rng = random.Random(seed)
-    for key in range(n_rows):
+    for row_id in range(n_rows):
         table.append(
             [
-                key,
-                f"t1-{key % 97:04d}".encode(),
-                f"t2-{key % 89:06d}".encode(),
-                f"t3-{key % 83:014d}".encode(),
-                f"t4-{key % 79:010d}".encode(),
+                row_id,
+                f"t1-{row_id % 97:04d}".encode(),
+                f"t2-{row_id % 89:06d}".encode(),
+                f"t3-{row_id % 83:014d}".encode(),
+                f"t4-{row_id % 79:010d}".encode(),
                 rng.randint(-1_000_000, 1_000_000),
                 rng.randint(-1_000_000, 1_000_000),
                 rng.randint(-1_000_000, 1_000_000),

@@ -361,9 +361,15 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--quick", action="store_true",
                       help="small scales for CI: cycle-equality is still "
                            "asserted, the speedup floor is not")
+    perf.add_argument("--smoke", action="store_true", dest="quick",
+                      help="alias for --quick (CI smoke runs)")
+    perf.add_argument("--profile", action="store_true",
+                      help="also print per-scenario timing-memo hit rates "
+                           "and the fastpath fallback tally by reason")
     perf.add_argument("--scenario", action="append", dest="scenarios",
                       metavar="NAME",
-                      help="run a subset (fig01, fig06, serving); repeatable")
+                      help="run a subset (fig01, fig06, serving, windowed, "
+                           "multirun, pushdown); repeatable")
     perf.add_argument("--min-speedup", type=float, default=None,
                       help="fig06 acceptance floor (default 3.0; none with "
                            "--quick)")
@@ -1008,6 +1014,8 @@ def _cmd_perf(args, out) -> int:
         jobs=args.jobs,
     )
     print(report.render(), file=out)
+    if args.profile:
+        print(report.render_profile(), file=out)
     if args.output != "-":
         path = pathlib.Path(args.output)
         path.write_text(report.to_json() + "\n")

@@ -180,7 +180,9 @@ class MemoryHierarchy:
         cfg = self.platform
         sim = self.sim
         if demand:
-            self._issue_prefetches(self.prefetcher.observe(line_base), line_base)
+            targets = self.prefetcher.observe(line_base)
+            if targets:
+                self._issue_prefetches(targets, line_base)
 
         if self.l1.lookup(line_base, demand=demand):
             if demand:

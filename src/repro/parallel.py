@@ -15,12 +15,30 @@ folds the results back together:
 * **Batched dispatch** — tasks are pickled to workers in contiguous
   batches (amortizing serialization), and each batch ships its results
   back together with the worker's cache-traffic delta.
+* **Persistent pools** — worker pools are keyed by ``(jobs,
+  ParallelConfig)`` and kept alive across :func:`parallel_map` calls, so
+  fork cost and warm-cache shipping are paid once per process instead of
+  once per sweep (the regression that made ``--jobs 2`` *lose* on small
+  hosts). A pool broken by a worker crash is discarded and rebuilt;
+  :func:`shutdown_pools` (registered via ``atexit``) reaps them at exit.
 * **Warm cache shipping** — the parent's :data:`repro.sim.fastpath
   .TIMING_CACHE` and :data:`repro.serve.profiles.PROFILE_CACHE` entries
   are exported once per pool and absorbed by every worker at start-up, so
   workers skip the epoch-signature learning the parent already paid for.
   Shipping is a pure warm-up: absorbed entries can only be *hits* for
-  keys the parent already resolved, never different values.
+  keys the parent already resolved, never different values. (A
+  persistent pool ships at creation; workers keep learning their own
+  entries afterwards.)
+* **Measured break-even** — ``mode="auto"`` no longer compares the item
+  count against static thresholds. It times the first shard inline (the
+  reference loop body, so the result is merged bit-identically at index
+  0), estimates the remaining work, and compares the parallel *savings*
+  — ``work x (1 - 1/min(jobs, usable cores))`` — against the measured
+  dispatch overheads: pool spin-up (measured at first creation, zero
+  once a persistent pool exists) plus the pool's measured batch
+  round-trip. Hosts where ``min(jobs, cores) <= 1`` can never win, so
+  the dispatch stays inline — which is what makes ``--jobs 2`` on a
+  1-core runner cost the same as ``--jobs 1``.
 * **Budgeted worker-restart** — a crashed worker (OOM-killed, signalled)
   surfaces as ``BrokenProcessPool``; the pool is rebuilt and the lost
   batches resubmitted under the same budgeted-restart stance as
@@ -37,7 +55,9 @@ add exactly, so merged percentiles equal single-process percentiles).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import time
 import zlib
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -186,24 +206,162 @@ def _run_batch_plain(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
     return [fn(item) for item in items]
 
 
-def _choose_mode(mode: str, n_items: int, n_jobs: int,
-                 cfg: ParallelConfig, stats: StatSet) -> str:
-    """Resolve "auto" to an executor by the measured break-even points.
+# ---------------------------------------------------------------------------
+# persistent pools + the measured break-even probe
+# ---------------------------------------------------------------------------
 
-    Inline below ``cfg.inline_below`` items (pool spin-up measured as a
-    0.97x *loss* there), threads up to ``cfg.process_below`` items or
-    whenever ``fork`` is unavailable (spawn re-imports the interpreter
-    state per worker — the fork-hostile-platform loss), processes once
-    the sweep is big enough to amortize the fork pool.
+#: Live worker pools, keyed by ``(n_jobs, ParallelConfig)``. A pool
+#: outlives the parallel_map call that created it, so fork cost and cache
+#: shipping amortize across a whole benchmark run.
+_POOLS: Dict[tuple, ProcessPoolExecutor] = {}
+#: Measured per-pool costs: ``spinup_s`` (creation + first round-trip)
+#: and ``roundtrip_s`` (one no-op batch through a warm pool).
+_POOL_META: Dict[tuple, Dict[str, float]] = {}
+
+#: Break-even priors, used only until a real measurement replaces them:
+#: forking a pool of an already-large parent typically costs a few
+#: hundred ms; a warm-pool round-trip a few ms.
+_SPINUP_PRIOR_S = 0.3
+_ROUNDTRIP_PRIOR_S = 0.01
+#: Estimated savings must exceed the measured overhead by this factor
+#: before the dispatch leaves the inline reference loop (the first-item
+#: timing is a single noisy sample).
+_PROBE_MARGIN = 2.0
+
+#: Memoized thread-dispatch overhead (one no-op ThreadPoolExecutor
+#: round-trip), measured on first use.
+_THREAD_OVERHEAD_S: Optional[float] = None
+
+
+def _probe_echo(x):
+    """The no-op task used to measure pool round-trip latency."""
+    return x
+
+
+def _usable_cores() -> int:
+    return multiprocessing.cpu_count() or 1
+
+
+def _thread_overhead_s() -> float:
+    global _THREAD_OVERHEAD_S
+    if _THREAD_OVERHEAD_S is None:
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(_probe_echo, None).result()
+        _THREAD_OVERHEAD_S = time.perf_counter() - start
+    return _THREAD_OVERHEAD_S
+
+
+def _process_overhead_s(key: tuple) -> Tuple[float, float]:
+    """``(spin-up still to pay, per-batch round-trip)`` for ``key``'s pool.
+
+    Zero spin-up once the persistent pool exists; before the first pool
+    of this process is forked, the spin-up estimate is the prior (every
+    later estimate is the worst measured spin-up, which tracks parent
+    size growth).
     """
-    if mode != "auto":
-        return mode
+    meta = _POOL_META.get(key)
+    if meta is not None:
+        return 0.0, meta["roundtrip_s"]
+    spinups = [m["spinup_s"] for m in _POOL_META.values()]
+    roundtrips = [m["roundtrip_s"] for m in _POOL_META.values()]
+    return (
+        max(spinups) if spinups else _SPINUP_PRIOR_S,
+        max(roundtrips) if roundtrips else _ROUNDTRIP_PRIOR_S,
+    )
+
+
+def _get_pool(key: tuple, n_jobs: int, cfg: ParallelConfig) -> ProcessPoolExecutor:
+    """The persistent pool for ``key``, created (and measured) on demand."""
+    pool = _POOLS.get(key)
+    if pool is not None:
+        return pool
+    shipment = _export_caches() if cfg.ship_caches else None
+    start = time.perf_counter()
+    pool = ProcessPoolExecutor(
+        max_workers=n_jobs,
+        mp_context=_mp_context(),
+        initializer=_worker_init,
+        initargs=(shipment,),
+    )
+    # One no-op round-trip: forces worker start-up into the measured
+    # spin-up figure and yields the warm per-batch round-trip estimate.
+    mid = time.perf_counter()
+    pool.submit(_probe_echo, None).result()
+    end = time.perf_counter()
+    _POOLS[key] = pool
+    _POOL_META[key] = {
+        "spinup_s": end - start,
+        "roundtrip_s": max(end - mid, 1e-6),
+    }
+    return pool
+
+
+def _discard_pool(key: tuple) -> None:
+    pool = _POOLS.pop(key, None)
+    _POOL_META.pop(key, None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def shutdown_pools() -> int:
+    """Shut down every persistent worker pool; returns how many."""
+    n = len(_POOLS)
+    for key in list(_POOLS):
+        _discard_pool(key)
+    return n
+
+
+atexit.register(shutdown_pools)
+
+
+def _static_gate(requested: str, n_items: int, n_jobs: int,
+                 cfg: ParallelConfig, stats: StatSet) -> str:
+    """Dispatch decisions that need no measurement.
+
+    Returns an executor name, or ``"auto"`` when the measured break-even
+    probe should decide.
+    """
+    if _IN_WORKER or n_jobs <= 1 or n_items <= 1:
+        return "inline"
+    if requested != "auto":
+        return requested
     if n_items < cfg.inline_below:
+        # Too small for the probe itself to be worth a timing sample.
         stats.bump("parallel_inline_fallback")
         return "inline"
-    if not _fork_available() or n_items < cfg.process_below:
+    return "auto"
+
+
+def _probe_mode(rest_work_s: float, n_jobs: int, key: tuple,
+                stats: StatSet) -> str:
+    """Resolve ``auto`` from measured overheads and the sampled work.
+
+    ``rest_work_s`` is the estimated inline cost of the still-unexecuted
+    shards (first-shard time x count). The parallel *savings* bound is
+    ``work x (1 - 1/effective)`` with ``effective = min(jobs, cores)`` —
+    an upper bound that assumes perfect scaling, compared against the
+    measured dispatch overheads with a safety margin. A host where
+    ``effective <= 1`` cannot win no matter the overheads.
+    """
+    effective = min(n_jobs, _usable_cores())
+    if effective <= 1:
+        stats.bump("probe_inline")
+        return "inline"
+    savings = rest_work_s * (1.0 - 1.0 / effective)
+    if _fork_available():
+        spinup, roundtrip = _process_overhead_s(key)
+        if savings > (spinup + roundtrip) * _PROBE_MARGIN:
+            return "process"
+    elif savings > _thread_overhead_s() * _PROBE_MARGIN:
+        # No fork on this platform: threads at least overlap any
+        # releases of the GIL, and avoid the spawn re-import storm.
         return "thread"
-    return "process"
+    stats.bump("probe_inline")
+    return "inline"
 
 
 # ---------------------------------------------------------------------------
@@ -231,8 +389,8 @@ def parallel_map(
 
     ``fn`` must be picklable (a module-level function or a
     ``functools.partial`` of one) and so must the items and results.
-    Worker crashes are retried by rebuilding the pool at most
-    ``recovery.max_retries`` times (default: the
+    Worker crashes are retried by discarding and rebuilding the
+    persistent pool at most ``recovery.max_retries`` times (default: the
     :data:`~repro.faults.DEFAULT_RECOVERY` budget, capped by
     ``config.max_restarts``); when the budget is spent the surviving
     batches run inline rather than failing the sweep. Task exceptions
@@ -244,11 +402,13 @@ def parallel_map(
     cache-traffic deltas (``timing_hits``/``timing_lookups``/...).
 
     ``mode`` (or ``config.mode``) picks the executor: ``"process"`` is
-    the fork pool, ``"thread"`` a thread pool over the same batch body
-    (bit-identical results, no fork, no cache shipment — the small-host
-    and fork-hostile-platform path), ``"inline"`` the reference loop, and
-    ``"auto"`` selects by the measured break-even batch sizes
-    (``config.inline_below`` / ``config.process_below``).
+    the persistent fork pool, ``"thread"`` a thread pool over the same
+    batch body (bit-identical results, no fork, no cache shipment — the
+    fork-hostile-platform path), ``"inline"`` the reference loop, and
+    ``"auto"`` decides by the measured break-even: it times the first
+    shard inline, then compares the projected parallel savings of the
+    rest against the measured pool spin-up and round-trip overheads
+    (see :func:`_probe_mode`).
     """
     cfg = config or DEFAULT_PARALLEL
     cfg.validate()
@@ -265,20 +425,31 @@ def parallel_map(
         )
     items = list(items)
     n_jobs = resolve_jobs(jobs if jobs is not None else cfg.jobs)
+    pool_key = (n_jobs, cfg)
     stats.set_gauge("jobs", n_jobs)
     if items:
         stats.bump("tasks", len(items))
 
-    if _IN_WORKER or n_jobs <= 1 or len(items) <= 1:
-        chosen = "inline"
-    else:
-        chosen = _choose_mode(requested, len(items), n_jobs, cfg, stats)
+    chosen = _static_gate(requested, len(items), n_jobs, cfg, stats)
+    prefix: List[R] = []
+    if chosen == "auto":
+        # The probe: run the first shard inline and time it. This is the
+        # reference loop body, so the result merges bit-identically at
+        # index 0 whatever executor handles the rest.
+        start = time.perf_counter()
+        prefix, delta = _execute_batch(fn, items[:1])
+        item_s = time.perf_counter() - start
+        _record_delta(stats, delta)
+        stats.bump("batches")
+        chosen = _probe_mode(item_s * (len(items) - 1), n_jobs, pool_key,
+                             stats)
+        items = items[1:]
     stats.bump("mode_" + chosen)
     if chosen == "inline":
         results, delta = _execute_batch(fn, items)
         _record_delta(stats, delta)
         stats.bump("batches")
-        return results
+        return prefix + results
 
     batches = _make_batches(len(items), n_jobs, batch_size or cfg.batch_size)
     if chosen == "thread":
@@ -306,43 +477,39 @@ def parallel_map(
             "profile_hits": after[2] - before[2],
             "profile_misses": after[3] - before[3],
         })
-        return results  # type: ignore[return-value]
+        return prefix + results  # type: ignore[operator]
     results: List[Optional[R]] = [None] * len(items)
     pending: List[range] = list(batches)
-    shipment = _export_caches() if cfg.ship_caches else None
     restarts_left = min(cfg.max_restarts, policy.max_retries) \
         if policy.enabled else 0
 
     while pending:
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(pending)),
-                mp_context=_mp_context(),
-                initializer=_worker_init,
-                initargs=(shipment,),
-            ) as pool:
-                futures = {
-                    pool.submit(_execute_batch, fn, [items[i] for i in span]):
-                    span
-                    for span in pending
-                }
-                not_done = set(futures)
-                while not_done:
-                    done, not_done = wait(not_done,
-                                          return_when=FIRST_COMPLETED)
-                    for future in done:
-                        span = futures[future]
-                        batch_results, delta = future.result()
-                        for index, value in zip(span, batch_results):
-                            results[index] = value
-                        _record_delta(stats, delta)
-                        _record_delta(WORKER_CACHE_TRAFFIC, delta)
-                        stats.bump("batches")
-                        pending.remove(span)
+            pool = _get_pool(pool_key, n_jobs, cfg)
+            futures = {
+                pool.submit(_execute_batch, fn, [items[i] for i in span]):
+                span
+                for span in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    span = futures[future]
+                    batch_results, delta = future.result()
+                    for index, value in zip(span, batch_results):
+                        results[index] = value
+                    _record_delta(stats, delta)
+                    _record_delta(WORKER_CACHE_TRAFFIC, delta)
+                    stats.bump("batches")
+                    pending.remove(span)
         except BrokenProcessPool:
-            # A worker died mid-batch (OOM kill, stray signal). Rebuild
-            # the pool and resubmit whatever is still pending, on the
-            # same budgeted-restart stance as the fault-recovery layer.
+            # A worker died mid-batch (OOM kill, stray signal). Discard
+            # the broken pool, rebuild, and resubmit whatever is still
+            # pending, on the same budgeted-restart stance as the
+            # fault-recovery layer.
+            _discard_pool(pool_key)
             if restarts_left > 0:
                 restarts_left -= 1
                 stats.bump("worker_restarts")
@@ -359,7 +526,7 @@ def parallel_map(
                 _record_delta(stats, delta)
                 stats.bump("batches")
                 pending.remove(span)
-    return results  # type: ignore[return-value]
+    return prefix + results  # type: ignore[operator]
 
 
 __all__ = [
@@ -367,4 +534,5 @@ __all__ = [
     "derive_seed",
     "parallel_map",
     "resolve_jobs",
+    "shutdown_pools",
 ]

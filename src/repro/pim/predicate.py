@@ -127,14 +127,32 @@ class PredicateProgram:
 
     def run(self, rows: Sequence[bytes]) -> SelectionBitmap:
         """Evaluate over one bank's packed rows: comparator bitmaps, then
-        the bulk AND/OR combine tree. Bit ``i`` = ``rows[i]`` matched."""
+        the bulk AND/OR combine tree. Bit ``i`` = ``rows[i]`` matched.
+
+        Comparator passes go through the shared vectorization gate
+        (:func:`repro.sim.vector.comparator_bits`): numpy evaluates the
+        whole bank in one pass when importable, the scalar loop
+        otherwise — exact integer compares either way, so the bitmap is
+        identical. The AND/OR combine is bulk in both cases (bigint
+        bitwise ops).
+        """
+        from ..sim.vector import comparator_bits
+
         n = len(rows)
-        by_leaf = {
-            leaf: SelectionBitmap.from_bools(
-                n, (cmp.matches(row) for row in rows)
+        blob = b"".join(rows) if n else b""
+        row_size = len(rows[0]) if n else 0
+        by_leaf = {}
+        for leaf, cmp in zip(self.spec.leaves, self.comparators):
+            bits = comparator_bits(
+                blob, n, row_size, cmp.field_offset, cmp.field_width,
+                cmp.op, cmp.constant,
             )
-            for leaf, cmp in zip(self.spec.leaves, self.comparators)
-        }
+            by_leaf[leaf] = (
+                SelectionBitmap(n, bits) if bits is not None
+                else SelectionBitmap.from_bools(
+                    n, (cmp.matches(row) for row in rows)
+                )
+            )
 
         def fold(node) -> SelectionBitmap:
             if isinstance(node, CmpLeaf):

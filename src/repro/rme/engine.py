@@ -288,36 +288,39 @@ class RMEngine:
             else None
         )
 
-    def _fastpath_ineligible_reason(self) -> Optional[str]:
-        """Why the coming epoch cannot be fast-forwarded (None = it can).
+    def _fastpath_plan(self):
+        """``(fallback_reason, replay_mode)`` for the coming epoch.
 
-        Every condition here marks a way the epoch stops being the
-        homogeneous, isolated descriptor stream the analytical replay in
-        :mod:`repro.sim.fastpath` transcribes: observers that must see
-        individual events (tracer), perturbed timing (faults), per-row
-        control flow (pushdown sinks), window churn, variable burst
-        lengths, or state left behind by an interrupted fast-forward.
+        ``reason is None`` means the epoch is fast-forwardable in
+        ``mode`` (a :mod:`repro.sim.fastpath` MODE_* constant). Every
+        remaining reason marks a way the epoch stops being a
+        reconstructible descriptor stream: observers that must see
+        individual events (tracer), perturbed timing (faults), the
+        in-order commit stage of a *parallel-lane* row filter (its write
+        interleaving depends on content the replay cannot order), or
+        state left behind by an interrupted fast-forward. Windowed,
+        multirun and unaligned-row epochs are handled by the general
+        replay ladder and no longer fall back.
         """
-        if self.sim.tracer is not None:
-            return "tracer"
-        if self.faults is not None:
-            return "faults"
-        if self._pushdown is not None:
-            return "pushdown"
-        if self._windowed:
-            return "windowed"
-        if type(self.geometry) is not TableGeometry:
-            return "multirun"
-        geometry = self.geometry
-        if geometry.row_count > 1 and geometry.row_size % geometry.bus_bytes:
-            # Rows not bus-aligned: the in-row offset drifts, so burst
-            # lengths differ between descriptors.
-            return "heterogeneous"
-        if self._ff_interrupted:
-            return "interrupted"
-        return None
+        from ..sim.fastpath import MODE_PROJECT, MODE_REDUCTION, MODE_ROWFILTER
 
-    def _start_fastforward(self) -> None:
+        if self.sim.tracer is not None:
+            return "tracer", None
+        if self.faults is not None:
+            return "faults", None
+        mode = MODE_PROJECT
+        if self._pushdown is not None:
+            if self._pd_accumulator is not None:
+                mode = MODE_REDUCTION
+            elif self.design.outstanding_txns == 1:
+                mode = MODE_ROWFILTER
+            else:
+                return "pushdown", None
+        if self._ff_interrupted:
+            return "interrupted", None
+        return None, mode
+
+    def _start_fastforward(self, rows, w_bias: int, mode: str) -> None:
         """Launch the current epoch through the analytical fast path.
 
         Mirrors :meth:`_start_current_window`'s observable effects — the
@@ -327,7 +330,7 @@ class RMEngine:
         """
         from ..sim import fastpath
 
-        session = _FetchSession(w_bias=0)
+        session = _FetchSession(w_bias=w_bias)
         self._session = session
         dispatch = Store(self.sim, f"{self.name}-dispatch")
         workers = self.design.outstanding_txns
@@ -335,10 +338,19 @@ class RMEngine:
             self.sim, self.platform, dispatch, workers, f"{self.name}-requestor"
         )
         self.fetch_pool.result_sink = None
-        fastpath.fast_forward(self)
+        fastpath.fast_forward(self, rows, w_bias, mode)
         self.stats.bump("pipeline_starts")
         self.stats.bump("fastpath_hits")
-        emit(self.sim, "rme", "pipeline_start", window=0, workers=workers)
+        emit(self.sim, "rme", "pipeline_start",
+             window=self._current_window, workers=workers)
+
+    def _window_rows_range(self, window: int):
+        """The row range of ``window`` (None = all rows, unwindowed)."""
+        if not self._windowed:
+            return None
+        first = window * self._window_rows
+        return range(first, min(self.geometry.row_count,
+                                first + self._window_rows))
 
     def _start_current_window(self) -> None:
         """Activation hook: launch the fetch pipeline for the current
@@ -346,13 +358,20 @@ class RMEngine:
         if self.geometry is None:
             raise ConfigurationError("RME accessed before configuration")
         if self.platform.fastpath:
-            reason = self._fastpath_ineligible_reason()
+            reason, mode = self._fastpath_plan()
             if reason is None:
-                self._start_fastforward()
+                window = self._current_window
+                w_bias = window * self._window_bytes if self._windowed else 0
+                self._start_fastforward(
+                    self._window_rows_range(window), w_bias, mode
+                )
                 return
+            from ..sim.fastpath import FALLBACK_TALLY
+
             self._ff_interrupted = False  # one-shot: consumed by this start
             self.stats.bump("fastpath_fallbacks")
             self.stats.bump("fastpath_fallback_" + reason)
+            FALLBACK_TALLY[reason] = FALLBACK_TALLY.get(reason, 0) + 1
         window = self._current_window
         session = _FetchSession(
             w_bias=window * self._window_bytes if self._windowed else 0
@@ -549,6 +568,15 @@ class RMEngine:
         self.stats.bump("window_switches")
         emit(self.sim, "rme", "window_switch",
              from_window=self._current_window, to_window=window)
+        if self.monitor.fastforward_pending:
+            # Switching away while fast-forwarded lines were still becoming
+            # visible: the committed DRAM/port reservations describe window
+            # traffic that is now abandoned. Lift the guard, drop the stale
+            # visibility schedule, and force the next start onto the
+            # cycle-level path (one-shot, same as mid-scan reconfiguration).
+            self._ff_interrupted = True
+            self.dram.guard_until = 0.0
+            self.monitor.cancel_fastforward()
         self._cancel_session()
         yield self.sim.timeout(self.platform.window_reinit_ns)
         emit_span(self.sim, "rme", "window_reinit", reinit_start,

@@ -87,6 +87,17 @@ class MonitorBypass:
         self._ff_armed.clear()
         self._ff_generation += 1
 
+    def cancel_fastforward(self) -> None:
+        """Abandon a pending visibility schedule (window switch mid-drain).
+
+        The generation bump orphans any armed line timers; stalled waiters
+        are left for the caller (:meth:`invalidate_waiters` /
+        :meth:`fail_waiters`) to wake with the appropriate marker.
+        """
+        self._ff_schedule = None
+        self._ff_armed.clear()
+        self._ff_generation += 1
+
     @property
     def fastforward_pending(self) -> bool:
         """True while fast-forwarded lines are still becoming visible."""
@@ -105,6 +116,21 @@ class MonitorBypass:
             event.succeed()
 
     # -- Trapper-facing side -------------------------------------------------------
+    def line_visible(self, line_idx: int) -> bool:
+        """:meth:`line_ready` without the lookup counters (a pure probe).
+
+        Used by the Trapper's collapsed hit path to decide eligibility
+        before it replays the lookup's bookkeeping itself — probing with
+        :meth:`line_ready` would double-count the lookup.
+        """
+        if not self.buffer.line_ready(line_idx):
+            return False
+        if self._ff_schedule is not None:
+            completes_at = self._ff_schedule.get(line_idx)
+            if completes_at is not None and completes_at > self.sim.now:
+                return False
+        return True
+
     def line_ready(self, line_idx: int) -> bool:
         ready = self.buffer.line_ready(line_idx)
         if ready and self._ff_schedule is not None:

@@ -38,6 +38,43 @@ def test_measure_paths_collects_everything(runner, small_table):
     assert norm["Columnar"] < 1.0
 
 
+def test_baseline_memo_replays_only_under_fastpath(small_table):
+    """The CPU-baseline memo records every run but replays only when the
+    platform sets ``fastpath`` — and the replay is the recorded result."""
+    import dataclasses
+
+    from repro.bench import runner as runner_mod
+    from repro.config import ZCU102
+
+    runner_mod._BASELINE_MEMO.clear()
+    before = dict(runner_mod.BASELINE_MEMO_TALLY)
+
+    cycle = ExperimentRunner(platform=ZCU102, designs=(MLP,))
+    first = cycle.time_direct(small_table, q1())
+    second = cycle.time_direct(small_table, q1())
+    # Cycle-level runs never replay (no tally movement), but both record.
+    assert runner_mod.BASELINE_MEMO_TALLY == before
+    assert second.elapsed_ns == first.elapsed_ns
+
+    fast = ExperimentRunner(
+        platform=dataclasses.replace(ZCU102, fastpath=True), designs=(MLP,)
+    )
+    replayed = fast.time_direct(small_table, q1())
+    assert runner_mod.BASELINE_MEMO_TALLY["hits"] == before["hits"] + 1
+    assert replayed.elapsed_ns == first.elapsed_ns
+    assert replayed.value == first.value
+
+    # A different query is a different key: recorded fresh, not replayed.
+    other = fast.time_columnar(small_table, q1())
+    assert runner_mod.BASELINE_MEMO_TALLY["misses"] == before["misses"] + 1
+    assert other.elapsed_ns > 0
+
+    # Mutating a replayed result must not poison later replays.
+    replayed.cache_stats.setdefault("L1", {})["poisoned"] = 1.0
+    clean = fast.time_direct(small_table, q1())
+    assert "poisoned" not in clean.cache_stats.get("L1", {})
+
+
 def test_figure_result_normalization():
     fig = FigureResult(
         fig_id="X", title="t", x_label="x", xs=[1, 2],

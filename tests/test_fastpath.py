@@ -120,44 +120,100 @@ def test_armed_faults_force_cycle_level():
     _assert_fell_back(system, "faults")
 
 
-def test_windowed_mode_forces_cycle_level():
+def test_windowed_mode_fast_forwards_each_window():
     kwargs = dict(n_rows=2048, buffer_capacity=2048,
                   var_kwargs={"windowed": True})
     result, system = _run(FASTPATH, **kwargs)
     assert system.rme.n_windows > 1
-    _assert_fell_back(system, "windowed")
-    slow, _ = _run(ZCU102, **kwargs)
+    assert system.rme.stats.count("fastpath_hits") >= system.rme.n_windows
+    assert system.rme.stats.count("fastpath_fallbacks") == 0
+    slow, slow_sys = _run(ZCU102, **kwargs)
     assert result.elapsed_ns == slow.elapsed_ns
+    assert result.value == slow.value
+    assert (system.rme.stats.count("window_switches")
+            == slow_sys.rme.stats.count("window_switches"))
 
 
-def test_multirun_geometry_forces_cycle_level():
+def test_multirun_geometry_fast_forwards():
     query = q2("A1", "A3")  # non-contiguous columns -> multi-run geometry
     kwargs = dict(columns=["A1", "A3"],
                   var_kwargs={"allow_noncontiguous": True})
     result, system = _run(FASTPATH, query=query, **kwargs)
-    _assert_fell_back(system, "multirun")
+    assert system.rme.stats.count("fastpath_hits") >= 1
+    assert system.rme.stats.count("fastpath_fallbacks") == 0
     slow, _ = _run(ZCU102, query=query, **kwargs)
     assert result.elapsed_ns == slow.elapsed_ns
+    assert result.value == slow.value
 
 
-def test_unaligned_rows_force_cycle_level():
+@pytest.mark.parametrize("design", [BSL, PCK, MLP])
+def test_unaligned_rows_fast_forward(design):
     # 3 cols x 4 B = 12-byte rows: not a multiple of the 16-byte bus beat,
-    # so burst lengths drift between descriptors.
-    table = build_relation(n_rows=256, n_cols=3)
-    system = RelationalMemorySystem(FASTPATH, MLP)
-    loaded = system.load_table(table)
-    var = system.register_var(loaded, ["A1"])
-    QueryExecutor(system).run_rme(q1("A1"), var)
-    _assert_fell_back(system, "heterogeneous")
+    # so burst lengths drift between descriptors (general replay ladder).
+    def run(platform):
+        table = build_relation(n_rows=256, n_cols=3)
+        system = RelationalMemorySystem(platform, design)
+        loaded = system.load_table(table)
+        var = system.register_var(loaded, ["A1"])
+        return QueryExecutor(system).run_rme(q1("A1"), var), system
+
+    fast, system = run(FASTPATH)
+    assert system.rme.stats.count("fastpath_hits") >= 1
+    assert system.rme.stats.count("fastpath_fallbacks") == 0
+    slow, _ = run(ZCU102)
+    assert fast.elapsed_ns == slow.elapsed_ns
+    assert fast.value == slow.value
 
 
-def test_pushdown_sink_forces_cycle_level():
+def test_parallel_rowfilter_pushdown_forces_cycle_level():
+    # An MLP row filter's in-order commit stage interleaves with 16 lanes;
+    # only single-lane designs replay row filters analytically.
     table = build_relation(n_rows=256)
     system = RelationalMemorySystem(FASTPATH, MLP)
     loaded = system.load_table(table)
     fvar = system.register_filtered_var(loaded, ["A1"], "A1", "<", 0)
     system.warm_up(fvar)
     _assert_fell_back(system, "pushdown")
+
+
+@pytest.mark.parametrize("design", [BSL, PCK])
+def test_serial_rowfilter_pushdown_fast_forwards(design):
+    def run(platform):
+        table = build_relation(n_rows=256)
+        system = RelationalMemorySystem(platform, design)
+        loaded = system.load_table(table)
+        fvar = system.register_filtered_var(loaded, ["A1"], "A1", "<", 0)
+        system.warm_up(fvar)
+        system.flush_caches()
+        result = QueryExecutor(system).run_rme(q1("A1"), fvar)
+        return result, system
+
+    fast, system = run(FASTPATH)
+    assert system.rme.stats.count("fastpath_hits") >= 1
+    assert system.rme.stats.count("fastpath_fallbacks") == 0
+    assert system.rme.stats.count("fastpath_uncacheable") >= 1
+    slow, slow_sys = run(ZCU102)
+    assert fast.elapsed_ns == slow.elapsed_ns
+    assert fast.value == slow.value
+    assert system.rme.match_count == slow_sys.rme.match_count
+
+
+@pytest.mark.parametrize("design", [BSL, PCK, MLP])
+def test_aggregation_pushdown_fast_forwards(design):
+    def run(platform):
+        table = build_relation(n_rows=256)
+        system = RelationalMemorySystem(platform, design)
+        loaded = system.load_table(table)
+        avar = system.register_hw_aggregate(loaded, "A1", "sum")
+        system.warm_up(avar)
+        return system
+
+    fast_sys = run(FASTPATH)
+    assert fast_sys.rme.stats.count("fastpath_hits") >= 1
+    assert fast_sys.rme.stats.count("fastpath_fallbacks") == 0
+    slow_sys = run(ZCU102)
+    assert fast_sys.rme.aggregate_result() == slow_sys.rme.aggregate_result()
+    assert fast_sys.sim.now == slow_sys.sim.now
 
 
 def test_midscan_reconfiguration_falls_back_once():

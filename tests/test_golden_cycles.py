@@ -29,11 +29,67 @@ from repro.config import ZCU102
 GOLDEN_DIR = Path(__file__).parent / "golden"
 FASTPATH = dataclasses.replace(ZCU102, fastpath=True)
 
-#: Each scenario is (fixture file, figure callable taking ``platform``).
-#: Scales are chosen small enough for the test suite but large enough to
-#: exercise credit back-pressure, bank conflicts and packed-line
-#: completion (fig06), analytical curves (fig01), and burst-length-2
-#: straddling descriptors (fig08).
+
+def _jsonable(value):
+    """Row tuples -> lists, so snapshots survive a JSON round-trip."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _windowed_epoch(platform):
+    """A window-switching projection: the buffer holds a quarter of the
+    projected column, so the scan crosses several reorganization windows
+    (the general replay ladder with a nonzero write bias)."""
+    from repro import QueryExecutor, RelationalMemorySystem
+    from repro.query.queries import q1
+    from repro.rme.designs import MLP
+    from tests.conftest import build_relation
+
+    table = build_relation(n_rows=512)
+    system = RelationalMemorySystem(platform, MLP, buffer_capacity=512)
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, ["A1"], windowed=True)
+    result = QueryExecutor(system).run_rme(q1("A1"), var)
+    return {
+        "xs": ["elapsed_ns", "value", "windows", "window_switches"],
+        "series": {
+            "windowed_q1": [
+                result.elapsed_ns, _jsonable(result.value),
+                system.rme.n_windows,
+                system.rme.stats.count("window_switches"),
+            ],
+        },
+    }
+
+
+def _multirun_epoch(platform):
+    """A non-contiguous two-column projection: per-row run descriptors
+    with distinct burst lengths (the multirun geometry extension)."""
+    from repro import QueryExecutor, RelationalMemorySystem
+    from repro.query.queries import q2
+    from repro.rme.designs import MLP
+    from tests.conftest import build_relation
+
+    table = build_relation(n_rows=512)
+    system = RelationalMemorySystem(platform, MLP)
+    loaded = system.load_table(table)
+    var = system.register_var(loaded, ["A1", "A3"],
+                              allow_noncontiguous=True)
+    result = QueryExecutor(system).run_rme(q2("A1", "A3"), var)
+    return {
+        "xs": ["elapsed_ns", "value"],
+        "series": {"multirun_q2": [result.elapsed_ns,
+                                   _jsonable(result.value)]},
+    }
+
+
+#: Each scenario is (fixture file, callable taking ``platform``) that
+#: yields an xs/series snapshot. Scales are chosen small enough for the
+#: test suite but large enough to exercise credit back-pressure, bank
+#: conflicts and packed-line completion (fig06), analytical curves
+#: (fig01), burst-length-2 straddling descriptors (fig08), window
+#: switching, and multirun descriptor streams.
 SCENARIOS = {
     "fig01_projectivity.json": lambda platform: fig01_projectivity(
         n_points=12, n_rows=8192, platform=platform
@@ -44,10 +100,14 @@ SCENARIOS = {
     "fig08_offsets.json": lambda platform: fig08_offset_sweep(
         n_rows=256, offsets=(0, 4, 13, 29, 45, 60), platform=platform
     ),
+    "windowed_epoch.json": _windowed_epoch,
+    "multirun_epoch.json": _multirun_epoch,
 }
 
 
 def _snapshot(figure) -> dict:
+    if isinstance(figure, dict):
+        return figure
     return {"xs": list(figure.xs), "series": figure.series}
 
 
@@ -71,9 +131,18 @@ def test_golden_cycles(fixture, platform):
         )
 
 
-def regenerate() -> None:
+def regenerate(force: bool = False) -> None:
+    """Write missing fixtures; overwrite existing ones only with --force.
+
+    Existing fixtures are contractual — an accidental regeneration would
+    silently re-bless a timing regression, so overwriting is opt-in.
+    """
     GOLDEN_DIR.mkdir(exist_ok=True)
     for fixture, build in sorted(SCENARIOS.items()):
+        path = GOLDEN_DIR / fixture
+        if path.exists() and not force:
+            print(f"kept {path} (use --force to overwrite)")
+            continue
         snapshot = _snapshot(build(ZCU102))
         # Sanity: the fast path must agree before the fixture is trusted.
         fast = _snapshot(build(FASTPATH))
@@ -82,14 +151,14 @@ def regenerate() -> None:
                 f"{fixture}: fast-forward and cycle-level runs disagree; "
                 "fix that before regenerating goldens"
             )
-        (GOLDEN_DIR / fixture).write_text(
+        path.write_text(
             json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
         )
-        print(f"wrote {GOLDEN_DIR / fixture}")
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":
     if "--regenerate" in sys.argv:
-        regenerate()
+        regenerate(force="--force" in sys.argv)
     else:
         raise SystemExit(__doc__)

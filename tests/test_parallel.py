@@ -214,6 +214,13 @@ def _square(x):
     return x * x
 
 
+def _slow_square(x):
+    import time
+
+    time.sleep(0.01)  # make the probe's first-shard timing meaningful
+    return x * x
+
+
 def _boom(x):
     raise ValueError(f"bad item {x}")
 
@@ -355,26 +362,91 @@ def test_thread_mode_records_dispatch_stats():
     assert stats.counter("batches").count >= 1
 
 
-def test_auto_mode_selects_by_break_even():
-    # Large sweeps amortize process forking; auto picks the pool.
+def test_probe_mode_inline_when_effectively_single_core(monkeypatch):
+    # min(jobs, cores) <= 1 can never win: the probe stays inline. This
+    # is the "--jobs 2 never slower than --jobs 1 on a 1-core host" fix.
+    import repro.parallel as pp
+
+    monkeypatch.setattr(pp, "_usable_cores", lambda: 1)
     stats = StatSet("dispatch")
-    parallel_map(_square, list(range(20)), jobs=2, stats=stats,
-                 config=ParallelConfig(mode="auto", process_below=8))
+    assert pp._probe_mode(100.0, 2, (2, ParallelConfig()), stats) == "inline"
+    assert stats.counter("probe_inline").count == 1
+
+
+def test_probe_mode_picks_process_when_savings_beat_overhead(monkeypatch):
+    import repro.parallel as pp
+
+    monkeypatch.setattr(pp, "_usable_cores", lambda: 4)
+    monkeypatch.setattr(pp, "_fork_available", lambda: True)
+    monkeypatch.setattr(pp, "_process_overhead_s",
+                        lambda key: (0.05, 0.002))
+    stats = StatSet("dispatch")
+    # 10 s of remaining work at 4-way: savings 7.5 s >> 0.104 s overhead.
+    assert pp._probe_mode(10.0, 4, (4, ParallelConfig()), stats) == "process"
+    # 0.01 s of remaining work: savings 0.0075 s < margin x overhead.
+    assert pp._probe_mode(0.01, 4, (4, ParallelConfig()), stats) == "inline"
+    assert stats.counter("probe_inline").count == 1
+
+
+def test_probe_mode_uses_threads_only_without_fork(monkeypatch):
+    import repro.parallel as pp
+
+    monkeypatch.setattr(pp, "_usable_cores", lambda: 4)
+    monkeypatch.setattr(pp, "_fork_available", lambda: False)
+    monkeypatch.setattr(pp, "_thread_overhead_s", lambda: 0.001)
+    stats = StatSet("dispatch")
+    assert pp._probe_mode(10.0, 4, (4, ParallelConfig()), stats) == "thread"
+    assert pp._probe_mode(0.0, 4, (4, ParallelConfig()), stats) == "inline"
+
+
+def test_auto_mode_selects_by_measured_break_even(monkeypatch):
+    import repro.parallel as pp
+
+    # Pretend to be a 2-core host with a free, already-warm pool: the
+    # probe times the first shard and routes the rest to the pool.
+    monkeypatch.setattr(pp, "_usable_cores", lambda: 2)
+    monkeypatch.setattr(pp, "_process_overhead_s", lambda key: (0.0, 0.0))
+    stats = StatSet("dispatch")
+    results = parallel_map(_slow_square, list(range(8)), jobs=2, stats=stats,
+                           config=ParallelConfig(mode="auto"))
+    assert results == [x * x for x in range(8)]
     assert stats.counter("mode_process").count == 1
 
-    # Between inline_below and process_below, threads win: no fork cost,
-    # and the sweep is too small to amortize worker spawn.
+    # Same sweep on a 1-core host: the probe keeps everything inline.
+    monkeypatch.setattr(pp, "_usable_cores", lambda: 1)
     stats = StatSet("dispatch")
-    parallel_map(_square, list(range(6)), jobs=2, stats=stats,
-                 config=ParallelConfig(mode="auto", process_below=8))
-    assert stats.counter("mode_thread").count == 1
+    results = parallel_map(_slow_square, list(range(8)), jobs=2, stats=stats,
+                           config=ParallelConfig(mode="auto"))
+    assert results == [x * x for x in range(8)]
+    assert stats.counter("mode_inline").count == 1
+    assert stats.counter("probe_inline").count == 1
 
-    # Below inline_below the dispatch stays in-process entirely.
+    # Below inline_below the dispatch never even probes.
     stats = StatSet("dispatch")
     parallel_map(_square, [1, 2], jobs=2, stats=stats,
-                 config=ParallelConfig(mode="auto", process_below=8))
+                 config=ParallelConfig(mode="auto"))
     assert stats.counter("mode_inline").count == 1
     assert stats.counter("parallel_inline_fallback").count == 1
+
+
+def test_persistent_pool_reused_across_calls():
+    import repro.parallel as pp
+
+    pp.shutdown_pools()
+    cfg = ParallelConfig(mode="process")
+    parallel_map(_square, list(range(8)), jobs=2, config=cfg)
+    assert len(pp._POOLS) == 1
+    key = next(iter(pp._POOLS))
+    pool_before = pp._POOLS[key]
+    meta = pp._POOL_META[key]
+    assert meta["spinup_s"] > 0.0 and meta["roundtrip_s"] > 0.0
+    parallel_map(_square, list(range(8)), jobs=2, config=cfg)
+    # Second dispatch reuses the same executor object (no re-fork) and
+    # _process_overhead_s reports the spin-up as already paid.
+    assert pp._POOLS[key] is pool_before
+    assert pp._process_overhead_s(key) == (0.0, meta["roundtrip_s"])
+    assert pp.shutdown_pools() >= 1
+    assert key not in pp._POOLS and key not in pp._POOL_META
 
 
 def test_mode_kwarg_overrides_config():

@@ -1,0 +1,114 @@
+"""Property test: batched replay is bit-identical to per-event simulation.
+
+Hypothesis drives randomized epoch mixes — projection / windowed /
+multirun / pushdown-aggregation epochs across designs, cold and hot —
+and asserts that the fast-forward replay produces *exactly* the
+simulated observables of the cycle-level run: elapsed nanoseconds,
+query answers, final simulation time, and the full instrument contents
+(counters bit-for-bit, histograms bucket-for-bucket) of every
+deterministic component.
+
+Each mix additionally runs with the numpy gate forced shut
+(``repro.sim.vector._NUMPY = None``), pinning the contract that the
+vectorized and pure-Python bulk-replay paths are interchangeable: all
+three executions must agree on every compared bit. The relocatable
+timing memo is exercised too — hot epochs replay rebased cache entries
+(see ``repro.sim.fastpath.rebase``) and must stay indistinguishable.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryExecutor, RelationalMemorySystem
+from repro.config import ZCU102
+from repro.query.queries import q1, q2
+from repro.rme.designs import BSL, MLP, PCK
+from repro.sim import vector
+from tests.conftest import build_relation
+
+FASTPATH = dataclasses.replace(ZCU102, fastpath=True)
+
+
+def _registry_snapshot(system) -> dict:
+    """Every deterministic instrument of the run, as comparable tuples."""
+    engine = system.rme
+    components = {
+        "rme": engine.stats,
+        "dram": engine.dram.stats,
+        "monitor": engine.monitor.stats,
+        "fetch": engine.fetch_pool.stats,
+        "buffer": engine.buffer.stats,
+    }
+    snap = {}
+    for comp, stats in components.items():
+        for name, counter in sorted(stats._counters.items()):
+            if name.startswith("fastpath"):
+                continue  # fastpath bookkeeping differs by construction
+            snap[(comp, "counter", name)] = (counter.count, counter.total)
+        for name, hist in sorted(stats._histograms.items()):
+            snap[(comp, "histogram", name)] = (
+                hist.count, hist.total, hist.min, hist.max,
+                hist._underflow, tuple(sorted(hist._buckets.items())),
+            )
+    return snap
+
+
+def _execute(platform, *, kind, design, n_rows, hot):
+    """One full run; returns (answer tuple, final sim time, snapshot)."""
+    table = build_relation(n_rows=n_rows)
+    if kind == "aggregate":
+        system = RelationalMemorySystem(platform, design)
+        loaded = system.load_table(table)
+        avar = system.register_hw_aggregate(loaded, "A1", "sum")
+        system.warm_up(avar)
+        if hot:
+            system.flush_caches()
+            system.warm_up(avar)
+        answer = (system.rme.aggregate_result(),)
+    else:
+        kwargs = {}
+        columns = ["A1"]
+        var_kwargs = {}
+        query = q1("A1")
+        if kind == "multirun":
+            columns = ["A1", "A3"]
+            var_kwargs = {"allow_noncontiguous": True}
+            query = q2("A1", "A3")
+        elif kind == "windowed":
+            kwargs["buffer_capacity"] = 256
+            var_kwargs = {"windowed": True}
+        system = RelationalMemorySystem(platform, design, **kwargs)
+        loaded = system.load_table(table)
+        var = system.register_var(loaded, columns, **var_kwargs)
+        if hot:
+            system.warm_up(var)
+            system.flush_caches()
+        result = QueryExecutor(system).run_rme(query, var)
+        answer = (result.elapsed_ns, result.value, result.selectivity)
+    return answer, system.sim.now, _registry_snapshot(system)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kind=st.sampled_from(["project", "windowed", "multirun", "aggregate"]),
+    design=st.sampled_from([BSL, PCK, MLP]),
+    n_rows=st.sampled_from([128, 192, 256]),
+    hot=st.booleans(),
+)
+def test_batched_replay_bit_identical(kind, design, n_rows, hot):
+    case = dict(kind=kind, design=design, n_rows=n_rows, hot=hot)
+    reference = _execute(ZCU102, **case)
+
+    saved = vector._NUMPY
+    try:
+        vector._NUMPY = vector._UNSET  # let numpy load if present
+        vectorized = _execute(FASTPATH, **case)
+        vector._NUMPY = None  # force the pure-Python bulk paths
+        pure = _execute(FASTPATH, **case)
+    finally:
+        vector._NUMPY = saved
+
+    assert vectorized == reference, case
+    assert pure == reference, case
