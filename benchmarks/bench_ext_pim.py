@@ -10,8 +10,16 @@ readout plus a handful of point gathers beats streaming the table) and
 loses where the gather approaches a full-table copy (high selectivity,
 wide groups).
 
-The machine-readable grid lands in ``BENCH_pim.json``. Set
-``REPRO_PERF_QUICK=1`` to run the driver's CI-sized smoke grid instead.
+Two further sweeps exercise the in-bank join and grouped-aggregation
+paths: a dim⋈fact equi-join (CPU hash join vs per-bank partitioned
+build/probe) over probe-side selectivity, and a grouped SUM (CPU vs RME
+vs per-bank group folds) over selectivity. Answers are asserted
+identical per cell in the drivers; the shape assertions here require a
+real crossover for the join and a low-selectivity PIM win for both.
+
+The machine-readable grids land in ``BENCH_pim.json`` (sections
+``scan``/``join``/``group_by``). Set ``REPRO_PERF_QUICK=1`` to run the
+drivers' CI-sized smoke grids instead.
 """
 
 import json
@@ -20,10 +28,29 @@ import pathlib
 
 from conftest import N_ROWS, run_once
 
-from repro.bench.extensions import ext_pim_shootout
+from repro.bench.extensions import (
+    ext_pim_groupby_shootout,
+    ext_pim_join_shootout,
+    ext_pim_shootout,
+)
 from repro.bench.report import render_table
 
 QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+
+_REPORT_PATH = pathlib.Path("BENCH_pim.json")
+
+
+def _write_section(section, payload):
+    """Merge one sweep's grid into ``BENCH_pim.json``."""
+    report = {}
+    if _REPORT_PATH.exists():
+        report = json.loads(_REPORT_PATH.read_text())
+        if "benchmark" in report and "scan" not in report:
+            report = {"scan": report}  # migrate the pre-join layout
+    report[section] = payload
+    _REPORT_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {_REPORT_PATH} [{section}]")
 
 
 def sweep_shootout(n_rows):
@@ -60,7 +87,7 @@ def bench_ext_pim(benchmark):
     pim_losses = [(sel, width) for (sel, width), cell in grid.items()
                   if cell["PIM"] > min(cell["CPU"], cell["RME"])]
 
-    report = {
+    _write_section("scan", {
         "benchmark": "RME vs PIM vs CPU shootout",
         "mode": "quick" if QUICK else "full",
         "n_rows": N_ROWS if not QUICK else min(N_ROWS, 256),
@@ -71,10 +98,7 @@ def bench_ext_pim(benchmark):
         "pim_wins": sorted(pim_wins),
         "pim_losses": sorted(pim_losses),
         "notes": figure.notes,
-    }
-    out = pathlib.Path("BENCH_pim.json")
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out}")
+    })
 
     low_sel = min(figure.xs)
     high_sel = max(figure.xs)
@@ -95,3 +119,89 @@ def bench_ext_pim(benchmark):
         assert pim_costs == sorted(pim_costs), (
             f"PIM cost not monotone in selectivity at w={width}: {pim_costs}"
         )
+
+
+def sweep_join(n_fact):
+    return ext_pim_join_shootout(n_fact=n_fact, smoke=QUICK)
+
+
+def bench_ext_pim_join(benchmark):
+    figure = run_once(benchmark, sweep_join, n_fact=2 * N_ROWS)
+    cpu, pim = figure.series["CPU join"], figure.series["PIM join"]
+
+    rows = [[sel, c, p, "PIM" if p < c else "CPU"]
+            for sel, c, p in zip(figure.xs, cpu, pim)]
+    print()
+    print(render_table(
+        ["probe selectivity", "CPU join ns", "PIM join ns", "winner"], rows,
+    ))
+
+    pim_wins = [sel for sel, c, p in zip(figure.xs, cpu, pim) if p < c]
+    _write_section("join", {
+        "benchmark": "CPU hash join vs in-bank PIM join",
+        "mode": "quick" if QUICK else "full",
+        "n_fact": 2 * N_ROWS if not QUICK else min(2 * N_ROWS, 512),
+        "x_label": figure.x_label,
+        "xs": figure.xs,
+        "series": {k: list(v) for k, v in sorted(figure.series.items())},
+        "answers_byte_identical": True,  # asserted per cell by the driver
+        "pim_wins": pim_wins,
+        "notes": figure.notes,
+    })
+
+    # A real crossover: PIM takes the low-selectivity cell, the CPU hash
+    # join takes the full-probe cell, and PIM's cost grows with the
+    # number of matched pairs it must ship and gather.
+    assert min(figure.xs) in pim_wins, (
+        f"PIM join never wins at selectivity {min(figure.xs)}: {rows}"
+    )
+    assert max(figure.xs) not in pim_wins, (
+        f"PIM join should lose the full-probe cell: {rows}"
+    )
+    assert pim == sorted(pim), (
+        f"PIM join cost not monotone in selectivity: {pim}"
+    )
+
+
+def sweep_groupby(n_rows):
+    return ext_pim_groupby_shootout(n_rows=n_rows, smoke=QUICK)
+
+
+def bench_ext_pim_groupby(benchmark):
+    figure = run_once(benchmark, sweep_groupby, n_rows=2 * N_ROWS)
+    cpu = figure.series["CPU group-by"]
+    rme = figure.series["RME group-by"]
+    pim = figure.series["PIM group-by"]
+
+    rows = [[sel, c, r, p,
+             min((("CPU", c), ("RME", r), ("PIM", p)), key=lambda kv: kv[1])[0]]
+            for sel, c, r, p in zip(figure.xs, cpu, rme, pim)]
+    print()
+    print(render_table(
+        ["selectivity", "CPU ns", "RME ns", "PIM ns", "winner"], rows,
+    ))
+
+    pim_wins = [sel for sel, c, r, p in zip(figure.xs, cpu, rme, pim)
+                if p < c and p < r]
+    _write_section("group_by", {
+        "benchmark": "CPU vs RME vs PIM grouped SUM",
+        "mode": "quick" if QUICK else "full",
+        "n_rows": 2 * N_ROWS if not QUICK else min(2 * N_ROWS, 512),
+        "x_label": figure.x_label,
+        "xs": figure.xs,
+        "series": {k: list(v) for k, v in sorted(figure.series.items())},
+        "answers_byte_identical": True,  # asserted per cell by the driver
+        "pim_wins": pim_wins,
+        "notes": figure.notes,
+    })
+
+    # The group fold ships per-bank partial tables, not matched rows, so
+    # PIM must win the low-selectivity cell outright.
+    assert min(figure.xs) in pim_wins, (
+        f"PIM group-by never wins at selectivity {min(figure.xs)}: {rows}"
+    )
+    # Readout scales with distinct groups, not matches: the PIM spread
+    # across the sweep stays well under the CPU's full-scan cost.
+    assert max(pim) - min(pim) < max(cpu), (
+        f"PIM group-by spread exceeds a CPU scan: {pim} vs {cpu}"
+    )

@@ -8,8 +8,8 @@ paper's machinery:
 * the measure columns are registered once as an ephemeral variable;
 * a dashboard of analytical queries runs over it — the first pays the
   on-the-fly transformation, the rest stream from the hot buffer;
-* a selective lookup goes through the B+-tree instead, chosen by the
-  cost-based advisor.
+* a selective lookup dodges the streaming scans — the cost-based advisor
+  weighs the B+-tree probe against the in-bank PIM fold.
 
 Run:  python examples/star_schema_analytics.py
 """
@@ -154,15 +154,22 @@ def main() -> None:
           f"with the apac/emea dimension slice "
           f"(engine count register: {system.rme.match_count})")
 
-    # A selective point lookup goes to the index, not to any scan.
+    # A selective point lookup avoids the streaming scans entirely: the
+    # advisor weighs the B+-tree probe against the rank-parallel in-bank
+    # fold, and at this table size the banks answer without moving a row.
+    # The index stays the cheapest path that *materializes* the rows.
     index = system.load_index(loaded, "order_id")
     lookup = parse_query("SELECT SUM(unit_price) FROM orders WHERE order_id < 16")
     choice = choose_access_path(lookup, loaded, selectivity=16 / N_ORDERS,
                                 index=index.index)
     measured = executor.run_index(lookup, loaded, index)
     print(f"\nselective lookup: optimizer picks {choice.best.value} "
-          f"({measured.elapsed_ns:,.0f} ns, {measured.selectivity:.2%} selective)")
-    assert choice.best is AccessPath.INDEX
+          f"({measured.elapsed_ns:,.0f} ns via the index, "
+          f"{measured.selectivity:.2%} selective)")
+    assert choice.best in (AccessPath.INDEX, AccessPath.PIM)
+    software = {p: ns for p, ns in choice.estimates_ns.items()
+                if p is not AccessPath.PIM}
+    assert min(software, key=software.get) is AccessPath.INDEX
     print("\nOne row-store served transactional-style lookups via the index "
           "and the whole analytical dashboard via Relational Memory.")
 

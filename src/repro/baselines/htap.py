@@ -64,10 +64,7 @@ class FracturedMirrors:
     def update(self, row_idx: int, values: Sequence[Any]) -> None:
         # Row side updates in place; the column side rewrites each field.
         self.rows.update(row_idx, values)
-        for column, value in zip(self.schema.columns, values):
-            start = row_idx * column.size
-            data = column.ctype.pack(value)
-            self.columns._columns[column.name][start : start + column.size] = data
+        self.columns.update(row_idx, values)
         self.costs.bytes_written += 2 * self.schema.row_size
 
     # -- analytics surface -------------------------------------------------------

@@ -22,7 +22,12 @@ from ..query.expr import Col
 from ..query.queries import Query, q1, q4
 from ..rme.designs import MLP
 from .runner import FigureResult
-from .workloads import make_listing1_table, make_relation
+from .workloads import (
+    make_grouped_relation,
+    make_join_tables,
+    make_listing1_table,
+    make_relation,
+)
 
 
 def _system(platform: PlatformConfig, **kwargs) -> RelationalMemorySystem:
@@ -338,6 +343,186 @@ def ext_pim_shootout(
         y_label="scan time (ns)",
         notes="answers asserted byte-identical across engines at every "
               "cell; projectivity = width/16 of the row",
+    )
+
+
+def _ext_pim_join_point(
+    target_sel: float,
+    n_fact: int,
+    seed: int,
+    platform: PlatformConfig,
+) -> Tuple[float, float, float]:
+    """One join shootout cell: the same dim⋈fact equi-join on the CPU
+    hash join and the in-bank PIM join, answers asserted byte-identical.
+    Returns ``(cpu_ns, pim_ns, measured_selectivity)``.
+    """
+    from ..query.engines import CPU, PIM
+    from ..query.processor import Processor
+
+    threshold = int(round(-_PIM_BOUND + target_sel * 2 * _PIM_BOUND))
+    lhs = Query(name="dim", sql="SELECT K, D1 FROM D", select=("K", "D1"))
+    rhs = Query(
+        name="fact",
+        sql=f"SELECT K, A1 FROM F WHERE F1 < {threshold}",
+        select=("K", "A1"),
+        predicate=Col("F1") < threshold,
+    )
+    dim, fact = make_join_tables(n_fact, seed=seed)
+    results = {}
+    for engine in (CPU, PIM):
+        system = _system(platform)
+        ld, lf = system.load_table(dim), system.load_table(fact)
+        processor = Processor(system)
+        plan = processor.plan_join("K", lhs, ld, rhs, lf, engine=engine)
+        results[engine.name] = processor.execute(
+            plan.relation, tables={"D": ld, "F": lf}
+        )
+    if results["cpu"].value != results["pim"].value:
+        raise AssertionError(f"join answers diverge at sel={target_sel}")
+    return (results["cpu"].elapsed_ns, results["pim"].elapsed_ns,
+            results["cpu"].selectivity)
+
+
+def ext_pim_join_shootout(
+    n_fact: int = 4096,
+    selectivities: Sequence[float] = (0.001, 0.01, 0.1, 0.5, 1.0),
+    seed: int = 42,
+    platform: PlatformConfig = ZCU102,
+    jobs: int = 1,
+    smoke: bool = False,
+) -> FigureResult:
+    """CPU hash join vs in-bank PIM join over probe-side selectivity.
+
+    ``D(K, D1) ⋈ σ[F1 < k](F(K, A1, F1))`` on ``K``: the dimension side
+    builds per-bank hash tables, the filtered fact side probes them, and
+    only matched row-id pairs cross the AXI boundary before the CPU
+    gathers the joined rows. PIM wins when few probe rows survive;
+    streaming both tables through the CPU wins when most do. Answers are
+    asserted byte-identical at every cell.
+
+    ``smoke`` shrinks the sweep to two CI-sized cells at 512 fact rows.
+    """
+    if smoke:
+        n_fact = min(n_fact, 512)
+        selectivities = (0.01, 1.0)
+    measured = parallel_map(
+        functools.partial(_ext_pim_join_point, n_fact=n_fact, seed=seed,
+                          platform=platform),
+        list(selectivities),
+        jobs=jobs,
+    )
+    series: Dict[str, List[float]] = {"CPU join": [], "PIM join": []}
+    for cpu_ns, pim_ns, _sel in measured:
+        series["CPU join"].append(cpu_ns)
+        series["PIM join"].append(pim_ns)
+    return FigureResult(
+        fig_id="Ext: PIM join shootout",
+        title=f"dim⋈fact on K, {n_fact} fact rows "
+              "(probe-side selectivity sweep)",
+        x_label="probe-side selectivity",
+        xs=list(selectivities),
+        series=series,
+        y_label="join time (ns)",
+        notes="answers asserted byte-identical across engines at every "
+              "cell; the dimension side builds, the fact side probes",
+    )
+
+
+def _ext_pim_group_point(
+    target_sel: float,
+    n_rows: int,
+    n_groups: int,
+    seed: int,
+    platform: PlatformConfig,
+) -> Tuple[float, float, float, float]:
+    """One GROUP BY shootout cell: grouped SUM on the CPU scan, the RME
+    (cold) and the PIM engine's in-bank group fold; the three answers
+    (dicts, order included) are asserted identical. Returns
+    ``(cpu_ns, rme_ns, pim_ns, measured_selectivity)``.
+    """
+    from ..pim import BankPIM
+
+    threshold = int(round(-_PIM_BOUND + target_sel * 2 * _PIM_BOUND))
+    query = Query(
+        name=f"pim_g{target_sel:g}",
+        sql=f"SELECT SUM(A1) FROM g WHERE F1 < {threshold} GROUP BY G",
+        select=(),
+        aggregate="sum",
+        agg_expr=Col("A1"),
+        predicate=Col("F1") < threshold,
+        group_by="G",
+    )
+
+    def fresh():
+        system = _system(platform)
+        return system, system.load_table(
+            make_grouped_relation(n_rows, n_groups, seed=seed)
+        )
+
+    system, loaded = fresh()
+    cpu = QueryExecutor(system).run_direct(query, loaded)
+
+    system, loaded = fresh()
+    var = system.register_var(loaded, list(query.columns()),
+                              allow_noncontiguous=True)
+    rme = QueryExecutor(system).run_rme(query, var)
+
+    system, loaded = fresh()
+    pim = BankPIM(system).run(query, loaded)
+
+    if not (repr(cpu.value) == repr(rme.value) == repr(pim.value)):
+        raise AssertionError(
+            f"grouped answers diverge at sel={target_sel}"
+        )
+    return (cpu.elapsed_ns, rme.elapsed_ns, pim.elapsed_ns, cpu.selectivity)
+
+
+def ext_pim_groupby_shootout(
+    n_rows: int = 4096,
+    selectivities: Sequence[float] = (0.001, 0.01, 0.1, 0.5, 1.0),
+    n_groups: int = 32,
+    seed: int = 42,
+    platform: PlatformConfig = ZCU102,
+    jobs: int = 1,
+    smoke: bool = False,
+) -> FigureResult:
+    """CPU vs RME vs PIM for grouped aggregation over selectivity.
+
+    ``SELECT SUM(A1) FROM g WHERE F1 < k GROUP BY G``: each bank folds
+    matching rows into a local key→state table, and only the per-bank
+    partial entries cross the ``Transfer[pim → cpu]`` boundary to be
+    merged — so unlike the projection shootout, PIM's readout grows with
+    the distinct-group count, not the match count. Answers (dicts, order
+    included) are asserted identical at every cell.
+
+    ``smoke`` shrinks the sweep to two CI-sized cells at 512 rows.
+    """
+    if smoke:
+        n_rows = min(n_rows, 512)
+        selectivities = (0.01, 1.0)
+    measured = parallel_map(
+        functools.partial(_ext_pim_group_point, n_rows=n_rows,
+                          n_groups=n_groups, seed=seed, platform=platform),
+        list(selectivities),
+        jobs=jobs,
+    )
+    series: Dict[str, List[float]] = {"CPU group-by": [], "RME group-by": [],
+                                      "PIM group-by": []}
+    for cpu_ns, rme_ns, pim_ns, _sel in measured:
+        series["CPU group-by"].append(cpu_ns)
+        series["RME group-by"].append(rme_ns)
+        series["PIM group-by"].append(pim_ns)
+    return FigureResult(
+        fig_id="Ext: PIM group-by shootout",
+        title=f"grouped SUM, {n_rows} rows, {n_groups} groups "
+              "(selectivity sweep)",
+        x_label="selectivity",
+        xs=list(selectivities),
+        series=series,
+        y_label="query time (ns)",
+        notes="answers asserted identical (values and order) across "
+              "engines at every cell; PIM ships per-bank partial group "
+              "tables, not matched rows",
     )
 
 

@@ -100,6 +100,10 @@ _FIGURES: Dict[str, Callable] = {
     "ext-faults": lambda rows: extension_drivers.ext_faults_sweep(
         n_rows=max(128, rows // 2)),
     "ext-pim": lambda rows: extension_drivers.ext_pim_shootout(n_rows=rows),
+    "ext-pim-join": lambda rows: extension_drivers.ext_pim_join_shootout(
+        n_fact=2 * rows),
+    "ext-pim-groupby": lambda rows: extension_drivers.ext_pim_groupby_shootout(
+        n_rows=2 * rows),
     "ext-cluster": lambda rows: extension_drivers.ext_cluster_sweep(
         n_rows=max(128, rows // 2)),
 }
@@ -119,6 +123,10 @@ _PARALLEL_FIGURES: Dict[str, Callable] = {
         n_rows=max(128, rows // 2), jobs=jobs),
     "ext-pim": lambda rows, jobs: extension_drivers.ext_pim_shootout(
         n_rows=rows, jobs=jobs),
+    "ext-pim-join": lambda rows, jobs: extension_drivers.ext_pim_join_shootout(
+        n_fact=2 * rows, jobs=jobs),
+    "ext-pim-groupby": lambda rows, jobs:
+        extension_drivers.ext_pim_groupby_shootout(n_rows=2 * rows, jobs=jobs),
     "ext-cluster": lambda rows, jobs: extension_drivers.ext_cluster_sweep(
         n_rows=max(128, rows // 2), jobs=jobs),
 }
@@ -127,6 +135,11 @@ _PARALLEL_FIGURES: Dict[str, Callable] = {
 _SMOKE_FIGURES: Dict[str, Callable] = {
     "ext-pim": lambda rows, jobs: extension_drivers.ext_pim_shootout(
         n_rows=rows, jobs=jobs, smoke=True),
+    "ext-pim-join": lambda rows, jobs: extension_drivers.ext_pim_join_shootout(
+        n_fact=2 * rows, jobs=jobs, smoke=True),
+    "ext-pim-groupby": lambda rows, jobs:
+        extension_drivers.ext_pim_groupby_shootout(
+            n_rows=2 * rows, jobs=jobs, smoke=True),
     "ext-cluster": lambda rows, jobs: extension_drivers.ext_cluster_sweep(
         n_rows=max(128, rows // 2), jobs=jobs, smoke=True),
 }
@@ -452,13 +465,57 @@ def _bench_explain_queries(name: str):
         # pre-filter, and an aggregate they can fold locally.
         return [("filter", q2(col="A1", sel_col="A2", k=0)),
                 ("sum", q4("A1"))]
+    if name == "ext-pim-groupby":
+        # The grouped-SUM shape: each bank folds a local key→state table.
+        from .query.expr import Col
+        from .query.queries import Query
+
+        return [("grouped-sum", Query(
+            name="gsum",
+            sql="SELECT SUM(A1) FROM S WHERE A2 > 0 GROUP BY A3",
+            select=(), aggregate="sum", agg_expr=Col("A1"),
+            predicate=Col("A2") > 0, group_by="A3"))]
     return [(name, q1())]
+
+
+def _bench_explain_join(args, out) -> int:
+    """``repro bench ext-pim-join --explain``: print the join's IR plan."""
+    from .bench.workloads import make_join_tables
+    from .query.expr import Col
+    from .query.processor import Processor
+    from .query.queries import Query
+
+    engine = None
+    if args.engine is not None:
+        engine = _engine_or_usage(args.engine, "repro bench")
+    dim_t, fact_t = make_join_tables(max(128, min(args.rows, 1024)))
+    system = RelationalMemorySystem()
+    dim_loaded = system.load_table(dim_t)
+    fact_loaded = system.load_table(fact_t)
+    dim = Query(name="dim", sql="", select=("K", "D1"))
+    fact = Query(name="fact", sql="", select=("K", "A1"),
+                 predicate=Col("F1") > 0)
+    try:
+        plan = Processor(system).plan_join(
+            "K", dim, dim_loaded, fact, fact_loaded, engine=engine,
+            rhs_selectivity=0.01,
+        )
+    except QueryError as exc:
+        raise _UsageError(f"repro bench: {exc}")
+    print(f"IR plans for sweep {args.name!r} (nothing is executed):", file=out)
+    reason = (plan.choice.reason if plan.choice is not None
+              else f"pinned via --engine {args.engine}")
+    print(f"\n[join] engine={plan.engine.name}: {reason}", file=out)
+    print(plan.explain(), file=out)
+    return 0
 
 
 def _cmd_bench_explain(args, out) -> int:
     """``repro bench NAME --explain``: print IR plans, execute nothing."""
     from .query.processor import Processor
 
+    if args.name == "ext-pim-join" and args.sql is None:
+        return _bench_explain_join(args, out)
     engine = None
     if args.engine is not None:
         engine = _engine_or_usage(args.engine, "repro bench")

@@ -25,6 +25,29 @@ from ..config import DRAMTimings
 from ..errors import ConfigurationError
 
 
+#: Knuth's multiplicative constant (2^64 / golden ratio) — the fixed
+#: mixing step of the in-bank join's key router.
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+def bank_of_key(key: int, n_banks: int) -> int:
+    """The bank a join key hash-routes to (build and probe agree).
+
+    A deterministic multiplicative hash over the key's low 64 bits: the
+    build phase parks each build row's key in this bank's table, the
+    probe phase sends each probe row's key to the same bank.
+
+    >>> {bank_of_key(k, 8) for k in range(64)} == set(range(8))
+    True
+    >>> bank_of_key(-5, 8) == bank_of_key(-5, 8)
+    True
+    """
+    if n_banks <= 0:
+        raise ConfigurationError("hash routing needs at least one bank")
+    mixed = ((key & 0xFFFFFFFFFFFFFFFF) * _HASH_MULT) & 0xFFFFFFFFFFFFFFFF
+    return (mixed >> 32) % n_banks
+
+
 @dataclass(frozen=True)
 class BankSlice:
     """One bank's share of a table: its rows and the pages they occupy."""

@@ -10,9 +10,16 @@ identity (:data:`repro.query.engines.PIM`). One run:
    combining them with bulk bitwise AND/OR
    (:class:`~repro.pim.predicate.PredicateProgram`);
 3. either feeds the matching rows' fields into the in-bank accumulator
-   (COUNT/SUM/MIN/MAX — the answer leaves DRAM as one register line) or
-   ships the merged bitmap to the CPU, which gathers the matching rows
-   and materialises the projection.
+   (COUNT/SUM/MIN/MAX — the answer leaves DRAM as one register line),
+   folds them into per-bank key→state GROUP BY tables merged at the
+   ``Transfer[pim → cpu]`` boundary, or ships the merged bitmap to the
+   CPU, which gathers the matching rows and materialises the projection.
+
+:meth:`BankPIM.run_join` adds the equi-join path: both sides filter at
+the banks, the smaller surviving side hash-partitions across the banks
+(:func:`~repro.pim.bank.bank_of_key`) into per-bank hash tables, and the
+larger side streams through them — only matched row-id pairs cross the
+AXI port before the CPU gathers the joined rows.
 
 Answers are computed from the table's actual packed bytes through the
 same little-endian-signed field semantics as
@@ -34,10 +41,20 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import FaultError, QueryError
-from .bank import BankLayout
+from .bank import BankLayout, bank_of_key
 from .bitmap import SelectionBitmap
-from .cost import RESULT_LINE_BYTES, PIMCostModel
-from .predicate import PredicateProgram, predicate_spec, supports_query
+from .cost import (
+    GROUP_ENTRY_BYTES,
+    PAIR_BYTES,
+    RESULT_LINE_BYTES,
+    PIMCostModel,
+)
+from .predicate import (
+    PredicateProgram,
+    predicate_spec,
+    supports_join,
+    supports_query,
+)
 
 
 @dataclass(frozen=True)
@@ -54,6 +71,37 @@ class PIMExecution:
     @property
     def selectivity(self) -> float:
         return self.matches / self.n_rows if self.n_rows else 0.0
+
+
+@dataclass(frozen=True)
+class PIMJoinExecution:
+    """Everything one in-bank hash join produced, answer and bill."""
+
+    rows: List[Dict[str, Any]]  #: joined rows over both sides' columns
+    n_rows: int  #: physical rows scanned across both sides
+    rhs_rows: int  #: right-side rows surviving its filter
+    matches: int  #: joined output rows
+    elapsed_ns: float
+    build_table: str  #: name of the side the banks built the table from
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def selectivity(self) -> float:
+        return self.matches / self.rhs_rows if self.rhs_rows else 0.0
+
+
+@dataclass(frozen=True)
+class _SideScan:
+    """One join side after its per-bank filter phase."""
+
+    name: str
+    n_rows: int
+    matched: List[int]
+    rows: List[Dict[str, Any]]
+    filter_ns: float
+    layout: BankLayout
+    schema: Any
+    query: Any
 
 
 class BankPIM:
@@ -138,11 +186,15 @@ class BankPIM:
         agg_field: Optional[Tuple[int, int]] = None
         if query.aggregate not in (None, "count"):
             agg_field = self._field_of(schema, query.agg_expr.name)
+        group_field: Optional[Tuple[int, int]] = None
+        if query.group_by is not None:
+            group_field = self._field_of(schema, query.group_by)
 
         setup = self.model.setup_ns()
         breakdown: Dict[str, float] = {"setup_ns": setup}
         bank_ns: List[float] = []
         matched: List[int] = []
+        local_tables: List[Dict[int, Any]] = []
         for bank_slice in layout.slices:
             rows = [raw[r * row_size:(r + 1) * row_size]
                     for r in bank_slice.row_ids]
@@ -156,13 +208,24 @@ class BankPIM:
                 elapsed = self.model.bank_scan_ns(
                     bank_slice.n_pages, len(rows), program.n_compare
                 ) + self.model.combine_ns(len(rows), program.n_combine)
-            if agg_field is not None:
+            hits = [bank_slice.row_ids[i] for i in local.indices()]
+            if group_field is not None:
+                # The bank folds its matches into a local key→state table.
+                local_tables.append(
+                    self._fold_bank(query, raw, row_size, hits,
+                                    group_field, agg_field)
+                )
+                elapsed += self.model.group_fold_ns(
+                    len(hits), group_field[1],
+                    agg_field[1] if agg_field is not None else 0,
+                )
+            elif agg_field is not None:
                 elapsed += self.model.accumulate_ns(local.count(), agg_field[1])
             # The bank's ECC check closes its scan; an uncorrectable flip
             # surfaces here, after this bank's work is already spent.
             self._draw_fault(bank_slice.bank, loaded.name, setup + elapsed)
             bank_ns.append(elapsed)
-            matched.extend(bank_slice.row_ids[i] for i in local.indices())
+            matched.extend(hits)
 
         matched.sort()
         bitmap = SelectionBitmap.from_indices(n_rows, matched)
@@ -172,7 +235,17 @@ class BankPIM:
         breakdown["filter_ns"] = filter_ns
         total = setup + filter_ns
 
-        if query.aggregate is not None:
+        if group_field is not None:
+            value = self._merge_groups(query, raw, row_size, matched,
+                                       group_field, local_tables)
+            entries = sum(len(t) for t in local_tables)
+            readout = self.model.readout_ns(
+                max(1, entries * GROUP_ENTRY_BYTES)
+            )
+            merge = self.model.merge_groups_ns(entries)
+            breakdown["merge_ns"] = merge
+            total += merge
+        elif query.aggregate is not None:
             value = self._aggregate_value(query, raw, row_size, matched,
                                           agg_field)
             readout = self.model.readout_ns(RESULT_LINE_BYTES)
@@ -192,7 +265,238 @@ class BankPIM:
                             elapsed_ns=total, bitmap=bitmap,
                             breakdown=breakdown)
 
+    # -- the join ----------------------------------------------------------------
+    def run_join(self, on: str, lhs_query, lhs_loaded,
+                 rhs_query, rhs_loaded) -> PIMJoinExecution:
+        """Hash-join two loaded tables entirely at the banks.
+
+        Phase 1 filters both sides with the comparator/bitmap path
+        (residual predicates run where the rows live). Phase 2 hash-
+        partitions the smaller surviving side's keys across the banks
+        (:func:`~repro.pim.bank.bank_of_key`) and builds per-bank hash
+        tables; phase 3 streams the larger side through them. Only the
+        matched row-id pairs cross the AXI boundary; the CPU then
+        point-gathers the joined rows from both sides.
+
+        The functional answer is computed with the CPU hash join's exact
+        semantics (build from the *left* side, probe the right side in
+        row order) so the output is byte-identical to the CPU path
+        regardless of which side the cost model builds from.
+        """
+        reason = supports_join(on, lhs_query, rhs_query)
+        if reason:
+            raise QueryError(f"join not PIM-evaluable: {reason}")
+        for query, loaded in ((lhs_query, lhs_loaded), (rhs_query, rhs_loaded)):
+            self._check_join_side(on, query, loaded)
+        self.last_wasted_ns = 0.0
+
+        setup = 2 * self.model.setup_ns()  # both sides' scans are programmed
+        breakdown: Dict[str, float] = {"setup_ns": setup}
+        lhs = self._filter_side(lhs_query, lhs_loaded, setup)
+        breakdown["lhs_filter_ns"] = lhs.filter_ns
+        rhs = self._filter_side(rhs_query, rhs_loaded, setup + lhs.filter_ns)
+        breakdown["rhs_filter_ns"] = rhs.filter_ns
+        total = setup + lhs.filter_ns + rhs.filter_ns
+
+        build, probe = ((lhs, rhs) if len(lhs.rows) <= len(rhs.rows)
+                        else (rhs, lhs))
+        key_width = build.schema.column(on).size
+        n_banks = max(1, self.model.dram.n_banks)
+
+        # Build: park each surviving build row in its key's bank.
+        bucket_sizes: Dict[int, int] = {}
+        build_keys: Dict[Any, int] = {}
+        for row in build.rows:
+            bank = bank_of_key(row[on], n_banks)
+            bucket_sizes[bank] = bucket_sizes.get(bank, 0) + 1
+            build_keys[row[on]] = build_keys.get(row[on], 0) + 1
+        build_ns = max(
+            (self.model.hash_build_ns(count, key_width)
+             for count in bucket_sizes.values()),
+            default=0.0,
+        )
+        breakdown["build_ns"] = build_ns
+        total += build_ns
+
+        # Probe: stream the larger side through the banks' tables.
+        probe_counts: Dict[int, int] = {}
+        emit_counts: Dict[int, int] = {}
+        for row in probe.rows:
+            bank = bank_of_key(row[on], n_banks)
+            probe_counts[bank] = probe_counts.get(bank, 0) + 1
+            hits = build_keys.get(row[on], 0)
+            if hits:
+                emit_counts[bank] = emit_counts.get(bank, 0) + hits
+        probe_ns = max(
+            (self.model.hash_probe_ns(probe_counts.get(bank, 0),
+                                      emit_counts.get(bank, 0), key_width)
+             for bank in probe_counts),
+            default=0.0,
+        )
+        breakdown["probe_ns"] = probe_ns
+        total += probe_ns
+
+        from ..query import ops
+
+        joined = ops.hash_join(lhs.rows, rhs.rows, on)
+        matches = len(joined)
+        readout = self.model.readout_ns(max(1, matches * PAIR_BYTES))
+        breakdown["readout_ns"] = readout
+        total += readout
+
+        # CPU gather of the joined rows, priced per side over the pages
+        # its participating matches live in.
+        joined_keys = {row[on] for row in joined}
+        gather = 0.0
+        for side in (lhs, rhs):
+            participating = [r for r, row in zip(side.matched, side.rows)
+                             if row[on] in joined_keys]
+            pages = len({side.layout.page_of(r) for r in participating})
+            _off, width = side.schema.covering_group(side.query.select)
+            gather += self.model.gather_ns(pages, matches, width,
+                                           side.query.work_cost_ns())
+        breakdown["gather_ns"] = gather
+        total += gather
+
+        self._advance_clock(total)
+        return PIMJoinExecution(
+            rows=joined,
+            n_rows=lhs.n_rows + rhs.n_rows,
+            rhs_rows=len(rhs.rows),
+            matches=matches,
+            elapsed_ns=total,
+            build_table=build.name,
+            breakdown=breakdown,
+        )
+
+    def _check_join_side(self, on: str, query, loaded) -> None:
+        if loaded.versioned is not None:
+            raise QueryError(
+                f"{loaded.name}: PIM scans physical rows and cannot apply "
+                "MVCC visibility; versioned tables are not PIM-eligible"
+            )
+        schema = loaded.schema
+        for column in query.columns():
+            if column not in schema:
+                raise QueryError(
+                    f"{loaded.name}: unknown column {column!r} "
+                    f"(table has {schema.names})"
+                )
+        self._field_of(schema, on)  # the key must be an integer field
+
+    def _filter_side(self, query, loaded, spent_ns: float) -> _SideScan:
+        """One side's per-bank filter phase (comparators + bitmaps)."""
+        schema = loaded.schema
+        n_rows = loaded.table.n_rows
+        row_size = schema.row_size
+        raw = loaded.table.raw_bytes()
+        layout = BankLayout(loaded.base_addr, row_size, n_rows,
+                            self.model.dram)
+        program: Optional[PredicateProgram] = None
+        if query.predicate is not None:
+            program = predicate_spec(query.predicate).bind(schema)
+        bank_ns: List[float] = []
+        matched: List[int] = []
+        for bank_slice in layout.slices:
+            rows = [raw[r * row_size:(r + 1) * row_size]
+                    for r in bank_slice.row_ids]
+            if program is None:
+                local = SelectionBitmap.ones(len(rows))
+                elapsed = self.model.bank_scan_ns(
+                    bank_slice.n_pages, len(rows), 0
+                )
+            else:
+                local = program.run(rows)
+                elapsed = self.model.bank_scan_ns(
+                    bank_slice.n_pages, len(rows), program.n_compare
+                ) + self.model.combine_ns(len(rows), program.n_combine)
+            self._draw_fault(bank_slice.bank, loaded.name, spent_ns + elapsed)
+            bank_ns.append(elapsed)
+            matched.extend(bank_slice.row_ids[i] for i in local.indices())
+        matched.sort()
+        indices = [schema.index_of(c) for c in query.select]
+        dicts = []
+        for r in matched:
+            unpacked = schema.unpack_row(raw[r * row_size:(r + 1) * row_size])
+            dicts.append(dict(zip(query.select,
+                                  (unpacked[i] for i in indices))))
+        return _SideScan(
+            name=loaded.name,
+            n_rows=n_rows,
+            matched=matched,
+            rows=dicts,
+            filter_ns=max(bank_ns) if bank_ns else 0.0,
+            layout=layout,
+            schema=schema,
+            query=query,
+        )
+
     # -- answers -----------------------------------------------------------------
+    @staticmethod
+    def _fold(func: str, state, value):
+        """Merge one value (or partial state) into an accumulator state.
+
+        COUNT/SUM fold by addition (partial counts sum exactly), MIN and
+        MAX by comparison — the mergeable quartet; grouped AVG stays
+        CPU-side because per-bank means do not merge exactly.
+        """
+        if func in ("sum", "count"):
+            return state + value
+        if func == "min":
+            return min(state, value)
+        return max(state, value)
+
+    def _fold_bank(self, query, raw: bytes, row_size: int,
+                   row_ids: List[int], group_field: Tuple[int, int],
+                   agg_field: Optional[Tuple[int, int]]) -> Dict[int, Any]:
+        """One bank's local key→state fold over its matching rows."""
+        goff, gwidth = group_field
+        states: Dict[int, Any] = {}
+        for r in row_ids:
+            base = r * row_size
+            key = int.from_bytes(raw[base + goff:base + goff + gwidth],
+                                 "little", signed=True)
+            if query.aggregate == "count":
+                value = 1
+            else:
+                aoff, awidth = agg_field
+                value = int.from_bytes(raw[base + aoff:base + aoff + awidth],
+                                       "little", signed=True)
+            if key in states:
+                states[key] = self._fold(query.aggregate, states[key], value)
+            else:
+                states[key] = value
+        return states
+
+    def _merge_groups(self, query, raw: bytes, row_size: int,
+                      matched: List[int], group_field: Tuple[int, int],
+                      local_tables: List[Dict[int, Any]]) -> Dict[int, Any]:
+        """Merge the banks' partial tables at the transfer boundary.
+
+        The merged dict lists groups in first-match scan order — the
+        same insertion order the CPU's hash aggregation produces — so
+        the answer is identical to the software path, ordering included.
+        """
+        merged: Dict[int, Any] = {}
+        for states in local_tables:
+            for key, value in states.items():
+                if key in merged:
+                    merged[key] = self._fold(query.aggregate, merged[key],
+                                             value)
+                else:
+                    merged[key] = value
+        goff, gwidth = group_field
+        order: List[int] = []
+        seen = set()
+        for r in matched:
+            base = r * row_size
+            key = int.from_bytes(raw[base + goff:base + goff + gwidth],
+                                 "little", signed=True)
+            if key not in seen:
+                seen.add(key)
+                order.append(key)
+        return {key: merged[key] for key in order}
+
     @staticmethod
     def _aggregate_value(query, raw: bytes, row_size: int,
                          matched: List[int],

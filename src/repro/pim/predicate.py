@@ -233,23 +233,28 @@ def supports_query(query) -> str:
     """Why ``query`` cannot run on the PIM engine, or ``""`` if it can.
 
     Eligible queries either aggregate (COUNT/SUM/MIN/MAX of a bare
-    column, single pass, no GROUP BY) or select rows with a
-    comparator-compilable predicate; a bare full projection moves every
-    row anyway, so there is nothing to push down.
+    column, single pass — grouped or plain: with a GROUP BY each bank
+    folds its matches into a local key→state table that the CPU merges
+    at the transfer boundary) or select rows with a comparator-compilable
+    predicate; a bare full projection moves every row anyway, so there
+    is nothing to push down.
     """
     from ..query.expr import Col
 
     if query.passes != 1:
         return "multi-pass aggregates recirculate on the CPU"
-    if query.group_by is not None:
-        return "GROUP BY is not in the in-bank accumulator set"
     if query.aggregate is not None:
         if query.aggregate not in AGG_FUNCS:
+            kind = ("in-bank group accumulators" if query.group_by is not None
+                    else "in-bank accumulators")
             return (f"aggregate {query.aggregate!r} is not one of the "
-                    f"in-bank accumulators {AGG_FUNCS}")
+                    f"{kind} {AGG_FUNCS}")
         if query.aggregate != "count" and not isinstance(query.agg_expr, Col):
             return ("the in-bank accumulator reads one column field, not "
                     f"the expression {query.agg_expr!r}")
+    elif query.group_by is not None:
+        return ("GROUP BY without an aggregate gives the in-bank group "
+                "table nothing to fold")
     elif query.predicate is None:
         return "a bare projection has nothing to push down"
     if query.predicate is not None:
@@ -257,4 +262,29 @@ def supports_query(query) -> str:
             predicate_spec(query.predicate)
         except PimUnsupportedError as error:
             return str(error)
+    return ""
+
+
+def supports_join(on: str, lhs_query, rhs_query) -> str:
+    """Why the join cannot run at the banks, or ``""`` if it can.
+
+    Each side must be a plain single-pass selection/projection scan (no
+    aggregates below the join) whose predicate — if any — compiles onto
+    the comparator array, and both sides must project the join key so
+    the banks can hash-partition on it.
+    """
+    for label, query in (("left", lhs_query), ("right", rhs_query)):
+        if query.aggregate is not None or query.group_by is not None:
+            return (f"the {label} side aggregates below the join; in-bank "
+                    "join inputs are plain scans")
+        if query.passes != 1:
+            return f"the {label} side is multi-pass"
+        if on not in query.select:
+            return (f"the {label} side does not project the join key "
+                    f"{on!r}; the banks hash-partition on it")
+        if query.predicate is not None:
+            try:
+                predicate_spec(query.predicate)
+            except PimUnsupportedError as error:
+                return f"the {label} side: {error}"
     return ""

@@ -34,10 +34,27 @@ from ..errors import FaultError, QueryError, SimulationError
 from ..memsys.cpu import ScanSegment
 from . import ops
 from .expr import key_range
-from .queries import Query
+from .queries import HASH_BUILD_NS, HASH_PROBE_NS, Query
 
 #: CPU cost (ns) of the binary search inside one B+-tree node.
 _NODE_SEARCH_NS = 2.7
+
+
+@dataclass
+class JoinScan:
+    """One executed join input-pair: the joined rows plus the bill.
+
+    The processor finalises this into a :class:`QueryResult` after
+    applying the operators above the Join node; ``rhs_rows`` (surviving
+    right-side rows) is the denominator of the reported selectivity.
+    """
+
+    rows: List[Dict[str, Any]]
+    elapsed_ns: float
+    rows_scanned: int
+    rhs_rows: int
+    path: AccessPath
+    state: str
 
 
 @dataclass
@@ -208,6 +225,80 @@ class QueryExecutor:
         return self._result(query, AccessPath.PIM, execution.value,
                             execution.elapsed_ns, execution.n_rows,
                             execution.selectivity, "-")
+
+    def run_pim_join(
+        self,
+        on: str,
+        lhs_query: Query,
+        lhs_loaded: LoadedTable,
+        rhs_query: Query,
+        rhs_loaded: LoadedTable,
+        flush: bool = True,
+    ) -> JoinScan:
+        """Hash-join two plain tables inside the DRAM banks.
+
+        Both sides filter at the banks, the smaller surviving side
+        builds per-bank hash tables, the larger side probes them; only
+        matched row-id pairs cross the AXI boundary before the CPU
+        gathers the joined rows. The fault contract mirrors
+        :meth:`run_pim`: an unrecoverable in-bank fault keeps its wasted
+        simulated time on the bill and (policy permitting) the join is
+        recomputed in software over two direct re-scans, with state
+        ``"degraded"``.
+        """
+        from ..pim import BankPIM
+
+        if self._pim is None or self._pim.system is not self.system:
+            self._pim = BankPIM(self.system)
+        device = self._pim
+        if flush:
+            self.system.flush_caches()
+        self.system.reset_stats()
+        faults = self.system.faults
+        try:
+            execution = device.run_join(on, lhs_query, lhs_loaded,
+                                        rhs_query, rhs_loaded)
+        except FaultError as error:
+            faults.stats.bump("pim_faults")
+            faults.stats.bump("wasted_ns", device.last_wasted_ns)
+            faults.stats.bump(f"fault_{type(error).__name__}")
+            self._drain_fault_wreckage()
+            if not faults.recovery.cpu_fallback:
+                raise
+            faults.stats.bump("cpu_fallbacks")
+            elapsed = device.last_wasted_ns
+            sides: List[List[Dict[str, Any]]] = []
+            for query, loaded in ((lhs_query, lhs_loaded),
+                                  (rhs_query, rhs_loaded)):
+                kept = ops.filter_rows(
+                    self._rows(loaded, query.columns(), None), query.predicate
+                )
+                n = loaded.table.n_rows
+                elapsed += self._fallback_rescan_ns(
+                    query, loaded, len(kept) / n if n else 0.0
+                )
+                sides.append([{c: row[c] for c in query.select}
+                              for row in kept])
+            joined = ops.hash_join(sides[0], sides[1], on)
+            elapsed += (HASH_BUILD_NS * len(sides[0])
+                        + HASH_PROBE_NS * len(sides[1]))
+            return JoinScan(
+                rows=joined,
+                elapsed_ns=elapsed,
+                rows_scanned=(lhs_loaded.table.n_rows
+                              + rhs_loaded.table.n_rows),
+                rhs_rows=len(sides[1]),
+                path=AccessPath.DIRECT_ROW,
+                state="degraded",
+            )
+        return JoinScan(
+            rows=execution.rows,
+            elapsed_ns=execution.elapsed_ns,
+            rows_scanned=execution.n_rows,
+            rhs_rows=execution.rhs_rows,
+            path=AccessPath.PIM,
+            state="-",
+        )
 
     def run_rme_pushdown(
         self,

@@ -89,6 +89,31 @@ def aggregate(name: str, values: Sequence[Any]) -> Any:
     return func(values)
 
 
+def hash_join(
+    lhs_rows: Sequence[Dict[str, Any]],
+    rhs_rows: Sequence[Dict[str, Any]],
+    on: str,
+) -> List[Dict[str, Any]]:
+    """Equi-join two row lists: build from the left, probe with the right.
+
+    The single definition both the CPU join and the PIM join's
+    functional answer share: output rows follow the probe side's order
+    (with left-side build order breaking ties), and right-side values
+    win on shared column names — so every engine produces an identical
+    row list by construction.
+    """
+    build: Dict[Any, List[Dict[str, Any]]] = {}
+    for row in lhs_rows:
+        build.setdefault(row[on], []).append(row)
+    joined: List[Dict[str, Any]] = []
+    for row in rhs_rows:
+        for match in build.get(row[on], ()):
+            merged = dict(match)
+            merged.update(row)
+            joined.append(merged)
+    return joined
+
+
 def group_aggregate(
     rows: Iterable[Dict[str, Any]],
     group_col: str,

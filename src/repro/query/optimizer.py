@@ -22,7 +22,7 @@ from ..core.relmem import LoadedTable
 from ..errors import QueryError
 from ..model.analytical import AnalyticalModel
 from ..rme.designs import DesignParams, MLP
-from .queries import Query
+from .queries import HASH_BUILD_NS, HASH_PROBE_NS, Query
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,69 @@ def choose_access_path(
     best = min(estimates, key=estimates.get)
     reason = _explain(query, best, width, schema.row_size)
     return AccessPathChoice(query.name, best, estimates, reason)
+
+
+def choose_join_path(
+    on: str,
+    lhs_query: Query,
+    lhs_loaded: LoadedTable,
+    rhs_query: Query,
+    rhs_loaded: LoadedTable,
+    lhs_selectivity: float = 1.0,
+    rhs_selectivity: float = 1.0,
+    model: Optional[AnalyticalModel] = None,
+) -> AccessPathChoice:
+    """Pick the cheapest engine for a two-table equi-join on ``on``.
+
+    The CPU path prices two measured row scans plus a per-row hash
+    build/probe surcharge; the PIM path (only for joins the banks can
+    evaluate — integer keys, projected on both sides, no MVCC) prices
+    the in-bank partitioned build and probe with only matched row-id
+    pairs crossing the AXI boundary. The two candidates mirror exactly
+    what :meth:`repro.query.processor.Processor.plan_join` would
+    execute.
+    """
+    model = model or AnalyticalModel()
+    sides = (
+        (lhs_query, lhs_loaded, lhs_selectivity),
+        (rhs_query, rhs_loaded, rhs_selectivity),
+    )
+    cpu_ns = 0.0
+    for query, loaded, sel in sides:
+        schema = loaded.schema
+        _, width = schema.covering_group(query.columns())
+        cpu_ns += model.direct_ns(
+            schema.row_size, width, loaded.table.n_rows,
+            query.row_compute_ns(sel),
+        )
+    lhs_kept = int(round(lhs_selectivity * lhs_loaded.table.n_rows))
+    rhs_kept = int(round(rhs_selectivity * rhs_loaded.table.n_rows))
+    cpu_ns += HASH_BUILD_NS * lhs_kept + HASH_PROBE_NS * rhs_kept
+    estimates: Dict[AccessPath, float] = {AccessPath.DIRECT_ROW: cpu_ns}
+
+    if lhs_loaded.versioned is None and rhs_loaded.versioned is None:
+        from ..pim import estimate_join_ns, supports_join
+
+        if not supports_join(on, lhs_query, rhs_query):
+            estimates[AccessPath.PIM] = estimate_join_ns(
+                on,
+                lhs_query, lhs_loaded.schema, lhs_loaded.table.n_rows,
+                rhs_query, rhs_loaded.schema, rhs_loaded.table.n_rows,
+                lhs_selectivity=lhs_selectivity,
+                rhs_selectivity=rhs_selectivity,
+            )
+
+    best = min(estimates, key=estimates.get)
+    if best is AccessPath.PIM:
+        reason = ("few rows survive the side filters; hashing them across "
+                  "the banks and shipping only matched row-id pairs beats "
+                  "streaming both tables")
+    else:
+        reason = ("enough rows survive that two streaming row scans amortise "
+                  "better than the per-bank partition and probe")
+    return AccessPathChoice(
+        f"{lhs_query.name}⋈{rhs_query.name}", best, estimates, reason
+    )
 
 
 def _explain(query: Query, best: AccessPath, width: int, row_size: int) -> str:

@@ -64,9 +64,9 @@ from .engines import (
     RME,
     Engine,
 )
-from .executor import QueryExecutor, QueryResult
-from .optimizer import AccessPathChoice, choose_access_path
-from .queries import Query
+from .executor import JoinScan, QueryExecutor, QueryResult
+from .optimizer import AccessPathChoice, choose_access_path, choose_join_path
+from .queries import HASH_BUILD_NS, HASH_PROBE_NS, Query
 from .relation import (
     Aggregate,
     Join,
@@ -79,11 +79,6 @@ from .relation import (
     Transfer,
     print_tree,
 )
-
-#: CPU cost (ns) of inserting one row into a join hash table.
-HASH_BUILD_NS = 4.0
-#: CPU cost (ns) of probing the join hash table with one row.
-HASH_PROBE_NS = 4.0
 
 #: AccessPath -> the engine that serves it (planner direction).
 _PATH_ENGINES = {
@@ -167,6 +162,69 @@ def relation_from_query(
     elif tuple(query.select) != fetched:
         body = Projection(target=body, projected=tuple(query.select))
     return body.label(query.name, query.sql)
+
+
+def _join_side(query: Query, table: str,
+               schema_columns: Optional[Sequence[str]],
+               engine: Engine) -> Relation:
+    """One join input: fetch projection (+ optional selection) on ``engine``."""
+    if query.aggregate is not None or query.group_by is not None:
+        raise QueryError("aggregates below a join are not executable")
+    if query.passes != 1:
+        raise QueryError("multi-pass scans below a join are not executable")
+    leaf = LeafRelation(
+        table, tuple(schema_columns) if schema_columns is not None else None
+    )
+    source: Relation = leaf if engine == CPU else leaf.transfer(engine)
+    fetch: Relation = Projection(target=source,
+                                 projected=tuple(query.columns()))
+    if query.predicate is not None:
+        fetch = fetch.select(query.predicate)
+    return fetch
+
+
+def join_relation(
+    on: str,
+    lhs_query: Query,
+    rhs_query: Query,
+    engine: Engine = CPU,
+    lhs_table: str = "R",
+    rhs_table: str = "T",
+    lhs_schema_columns: Optional[Sequence[str]] = None,
+    rhs_schema_columns: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+    sql: str = "",
+) -> Label:
+    """Build the canonical IR tree for a two-table equi-join.
+
+    Each side is a fetch projection (plus optional selection) placed on
+    ``engine``; the Join runs where its inputs live, and a final
+    ``Transfer`` brings the result back to the CPU when the join ran
+    elsewhere. For the PIM engine the side filters, the hash build and
+    the probe all happen at the banks — only matched row-id pairs cross
+    the ``Transfer[pim → cpu]`` boundary — so joins the banks cannot
+    evaluate (see :func:`repro.pim.predicate.supports_join`) raise
+    ``QueryError`` when pinned there.
+
+    >>> from repro.query.queries import Query
+    >>> lhs = Query(name="dim", sql="", select=("K", "D1"))
+    >>> rhs = Query(name="fact", sql="", select=("K", "A1"))
+    >>> print(join_relation("K", lhs, rhs))
+    dim⋈fact:(π[K,D1](R) ⋈[K] π[K,A1](T))
+    """
+    if engine == PIM:
+        from ..pim import supports_join
+
+        reason = supports_join(on, lhs_query, rhs_query)
+        if reason:
+            raise QueryError(f"join not PIM-evaluable: {reason}")
+    tree = _join_side(lhs_query, lhs_table, lhs_schema_columns, engine).join(
+        _join_side(rhs_query, rhs_table, rhs_schema_columns, engine), on=on
+    )
+    if engine != CPU:
+        tree = tree.transfer(CPU)
+    label = name or f"{lhs_query.name}⋈{rhs_query.name}"
+    return tree.label(label, sql)
 
 
 class _QueryCompiler(RelationVisitor):
@@ -302,11 +360,21 @@ def to_query(relation: Relation) -> Query:
 def scan_engine(relation: Relation) -> Engine:
     """The engine serving ``relation``'s column-group fetch.
 
+    For join trees this is the engine the Join node executes on (both
+    inputs live there by construction — ``Join.__post_init__`` enforces
+    it).
+
     >>> from repro.query.queries import q1
     >>> from repro.query.engines import RME
     >>> scan_engine(relation_from_query(q1(), engine=RME)).name
     'rme'
     """
+    node = relation
+    while isinstance(node, (Label, Transfer, Selection, Projection,
+                            Aggregate)):
+        node = node.target
+    if isinstance(node, Join):
+        return node.engine
     compiler = _QueryCompiler()
     relation.accept(compiler)
     return compiler.scan_engine
@@ -335,6 +403,44 @@ def reroot_degraded(relation: Relation) -> Relation:
         schema_columns=leaf.schema_columns,
         fetch_columns=compiler.fetch.projected if compiler.fetch else None,
     )
+
+
+def reroot_degraded_join(relation: Relation) -> Relation:
+    """Re-root both join inputs onto the degraded CPU engine.
+
+    The join-tree analogue of :func:`reroot_degraded`: after an
+    unrecoverable in-bank fault fell back to software, the executed
+    tree shows both side fetches (and the join between them) under the
+    :data:`~repro.query.engines.DEGRADED` identity, with the result
+    transferred back to the CPU.
+    """
+    name, sql = ("join", "")
+    node: Relation = relation
+    if isinstance(relation, Label):
+        name, sql = relation.name, relation.sql
+        node = relation.target
+    above: List[Relation] = []
+    while not isinstance(node, Join):
+        above.append(node)
+        node = node.target
+    sides = []
+    for side in (node.lhs, node.rhs):
+        compiler = _QueryCompiler()
+        query = compiler.compile(side)
+        sides.append(_join_side(query, compiler.leaf.name,
+                                compiler.leaf.schema_columns, DEGRADED))
+    tree: Relation = sides[0].join(sides[1], on=node.on).transfer(CPU)
+    for op in reversed(above):
+        if isinstance(op, Selection):
+            tree = tree.select(op.predicate)
+        elif isinstance(op, Aggregate):
+            tree = tree.aggregate(op.func, op.expr, group_by=op.group_by,
+                                  passes=op.passes)
+        elif isinstance(op, Projection):
+            tree = Projection(target=tree, projected=op.projected)
+        # Transfers above the join are placement only; the new tree
+        # carries its own [degraded → cpu] boundary.
+    return tree.label(name, sql)
 
 
 @dataclass(frozen=True)
@@ -442,6 +548,49 @@ class Processor:
             schema_columns=tuple(loaded.schema.names),
             fetch_columns=fetch_columns,
         )
+        return ExecutionPlan(relation=relation, query=query, choice=choice)
+
+    def plan_join(
+        self,
+        on: str,
+        lhs_query: Query,
+        lhs_loaded: LoadedTable,
+        rhs_query: Query,
+        rhs_loaded: LoadedTable,
+        engine: Optional[Engine] = None,
+        lhs_selectivity: float = 1.0,
+        rhs_selectivity: float = 1.0,
+        name: Optional[str] = None,
+        sql: str = "",
+    ) -> ExecutionPlan:
+        """Choose an engine for a two-table equi-join and build its tree.
+
+        With ``engine`` given, placement is pinned (no costing); else
+        :func:`~repro.query.optimizer.choose_join_path` prices the CPU
+        hash join against the in-bank partitioned join and the cheapest
+        wins. Execute the plan with ``tables={leaf: loaded, ...}``
+        bindings.
+        """
+        choice = None
+        if engine is None:
+            choice = choose_join_path(
+                on, lhs_query, lhs_loaded, rhs_query, rhs_loaded,
+                lhs_selectivity=lhs_selectivity,
+                rhs_selectivity=rhs_selectivity,
+            )
+            engine = _PATH_ENGINES[choice.best]
+        relation = join_relation(
+            on, lhs_query, rhs_query, engine=engine,
+            lhs_table=lhs_loaded.name, rhs_table=rhs_loaded.name,
+            lhs_schema_columns=tuple(lhs_loaded.schema.names),
+            rhs_schema_columns=tuple(rhs_loaded.schema.names),
+            name=name, sql=sql,
+        )
+        node: Relation = relation.target
+        while not isinstance(node, Join):
+            node = node.target
+        query = Query(name=relation.name, sql=sql or relation.sql,
+                      select=tuple(node.columns))
         return ExecutionPlan(relation=relation, query=query, choice=choice)
 
     def explain(self, relation: Relation) -> str:
@@ -566,14 +715,42 @@ class Processor:
         rows = [dict(zip(columns, values)) for values in result.value]
         return rows, result
 
+    def _pim_join_scan(
+        self, node: Join, tables: Dict[str, LoadedTable], flush: bool
+    ) -> JoinScan:
+        """Compile both PIM-placed join inputs and run them at the banks."""
+        queries: List[Query] = []
+        loadeds: List[LoadedTable] = []
+        for side in (node.lhs, node.rhs):
+            compiler = _QueryCompiler()
+            query = compiler.compile(side)
+            if compiler.scan_engine != PIM:
+                raise QueryError(
+                    f"a PIM join needs both inputs on the PIM engine; got "
+                    f"{compiler.scan_engine.name}"
+                )
+            name = compiler.leaf.name
+            if name not in tables:
+                raise QueryError(f"join executes with tables={{...}}; no "
+                                 f"binding for leaf {name!r}")
+            queries.append(query)
+            loadeds.append(tables[name])
+        return self.executor.run_pim_join(node.on, queries[0], loadeds[0],
+                                          queries[1], loadeds[1], flush)
+
     def _execute_join(
         self, relation: Relation, tables: Dict[str, LoadedTable], flush: bool
     ) -> QueryResult:
-        """Hash-join two scanned sides, then apply the operators above.
+        """Join two scanned sides, then apply the operators above.
 
         The functional answer follows the usual split: rows come from
-        the stored tables, the timing is the two measured side scans
-        plus a per-row hash build/probe surcharge on the CPU.
+        the stored tables (via the one shared :func:`ops.hash_join`
+        definition), the timing from the engine the Join node sits on —
+        two measured row scans plus a per-row hash surcharge on the
+        CPU, or the in-bank partition/build/probe bill on the PIM
+        engine. An unrecoverable PIM fault degrades like any other PIM
+        scan: the software join's rows, the wasted simulated time on
+        the bill, and the executed tree re-rooted onto ``@degraded``.
         """
         name = relation.name if isinstance(relation, Label) else "join"
         above: List[Relation] = []
@@ -581,22 +758,29 @@ class Processor:
         while not isinstance(node, Join):
             above.append(node)
             node = node.target
-        lhs_rows, lhs_result = self._side_rows(node.lhs, tables, flush)
-        rhs_rows, rhs_result = self._side_rows(node.rhs, tables, flush=False)
-        build: Dict[Any, List[Dict[str, Any]]] = {}
-        for row in lhs_rows:
-            build.setdefault(row[node.on], []).append(row)
-        joined: List[Dict[str, Any]] = []
-        for row in rhs_rows:
-            for match in build.get(row[node.on], ()):
-                merged = dict(match)
-                merged.update(row)
-                joined.append(merged)
-        elapsed = (lhs_result.elapsed_ns + rhs_result.elapsed_ns
-                   + HASH_BUILD_NS * len(lhs_rows)
-                   + HASH_PROBE_NS * len(rhs_rows))
-        value: Any = [tuple(row[c] for c in node.columns) for row in joined]
-        kept = joined
+        executed = relation
+        if node.engine == PIM:
+            scan = self._pim_join_scan(node, tables, flush)
+            if scan.state == "degraded":
+                executed = reroot_degraded_join(relation)
+        else:
+            lhs_rows, lhs_result = self._side_rows(node.lhs, tables, flush)
+            rhs_rows, rhs_result = self._side_rows(node.rhs, tables,
+                                                   flush=False)
+            scan = JoinScan(
+                rows=ops.hash_join(lhs_rows, rhs_rows, node.on),
+                elapsed_ns=(lhs_result.elapsed_ns + rhs_result.elapsed_ns
+                            + HASH_BUILD_NS * len(lhs_rows)
+                            + HASH_PROBE_NS * len(rhs_rows)),
+                rows_scanned=(lhs_result.rows_scanned
+                              + rhs_result.rows_scanned),
+                rhs_rows=len(rhs_rows),
+                path=AccessPath.DIRECT_ROW,
+                state="-",
+            )
+        value: Any = [tuple(row[c] for c in node.columns)
+                      for row in scan.rows]
+        kept = scan.rows
         for op in reversed(above):
             if isinstance(op, Selection):
                 kept = ops.filter_rows(kept, op.predicate)
@@ -611,20 +795,19 @@ class Processor:
             elif isinstance(op, Projection):
                 value = ops.project(kept, op.projected)
             # Transfers above a join are placement only.
-        n_rows = lhs_result.rows_scanned + rhs_result.rows_scanned
-        selectivity = len(joined) / len(rhs_rows) if rhs_rows else 0.0
+        selectivity = len(scan.rows) / scan.rhs_rows if scan.rhs_rows else 0.0
         result = QueryResult(
             query=name,
-            path=AccessPath.DIRECT_ROW,
+            path=scan.path,
             value=value,
-            elapsed_ns=elapsed,
-            rows_scanned=n_rows,
+            elapsed_ns=scan.elapsed_ns,
+            rows_scanned=scan.rows_scanned,
             selectivity=selectivity,
-            state="-",
+            state=scan.state,
             cache_stats=self.system.cache_stats(),
         )
-        self.last_report = ExecutionReport(planned=relation, executed=relation,
-                                           result=result)
+        self.last_report = ExecutionReport(planned=relation,
+                                           executed=executed, result=result)
         return result
 
 

@@ -41,6 +41,11 @@ AGG_COST_NS = {
 #: CPU cost (ns) of one hash-table group update (probe + accumulate).
 GROUP_BY_COST_NS = 4.0
 
+#: CPU cost (ns) of inserting one row into a join hash table.
+HASH_BUILD_NS = 4.0
+#: CPU cost (ns) of probing the join hash table with one row.
+HASH_PROBE_NS = 4.0
+
 #: CPU cost (ns) of materialising one projected output value.
 MATERIALIZE_COST_NS = 0.67
 

@@ -57,6 +57,21 @@ class ColumnTable:
         self._n_rows += 1
         return self._n_rows - 1
 
+    def update(self, row_idx: int, values: Sequence[Any]) -> None:
+        """Overwrite one row's value in every column array in place."""
+        if not 0 <= row_idx < self._n_rows:
+            raise SchemaError(
+                f"row {row_idx} outside table of {self._n_rows} rows"
+            )
+        if len(values) != len(self.schema.columns):
+            raise SchemaError(
+                f"row has {len(values)} values for {len(self.schema.columns)} columns"
+            )
+        for column, value in zip(self.schema.columns, values):
+            start = row_idx * column.size
+            self._columns[column.name][start : start + column.size] = \
+                column.ctype.pack(value)
+
     # -- reads ------------------------------------------------------------------
     def column_bytes(self, name: str) -> bytes:
         try:

@@ -58,6 +58,9 @@ class VersionedRowTable:
         self.table = RowTable(name, Schema(physical))
         #: key -> physical index of the live version (None if deleted).
         self._live: Dict[Any, Optional[int]] = {}
+        #: key -> physical indices of every version, oldest first. Point
+        #: reads walk one key's chain instead of rescanning the table.
+        self._versions: Dict[Any, List[int]] = {}
 
     # -- shape ----------------------------------------------------------------
     @property
@@ -78,6 +81,7 @@ class VersionedRowTable:
             raise TransactionError(f"key {key!r} already has a live version")
         idx = self.table.append(tuple(values) + (ts, LIVE_TS))
         self._live[key] = idx
+        self._versions.setdefault(key, []).append(idx)
         return idx
 
     def update(self, key: Any, values: Sequence[Any], ts: int) -> int:
@@ -89,6 +93,7 @@ class VersionedRowTable:
         self.table.update_column(old, END_COL, ts)
         idx = self.table.append(tuple(values) + (ts, LIVE_TS))
         self._live[key] = idx
+        self._versions.setdefault(key, []).append(idx)
         return idx
 
     def delete(self, key: Any, ts: int) -> None:
@@ -111,6 +116,30 @@ class VersionedRowTable:
         row = self.table.row(version_idx)
         begin, end = row[-2], row[-1]
         return begin <= ts < end
+
+    def visible_version(self, key: Any, ts: int) -> Optional[int]:
+        """The physical index of ``key``'s version visible at ``ts``.
+
+        Walks only that key's version chain (newest first — at most one
+        version is visible at any timestamp), so a point read costs
+        O(chain) instead of a full physical rescan.
+        """
+        for idx in reversed(self._versions.get(key, [])):
+            if self.visible_at(idx, ts):
+                return idx
+        return None
+
+    def visible_rows(self, ts: int) -> List[Tuple[Any, Tuple[Any, ...]]]:
+        """``(key, user-tuple)`` for each logical row visible at ``ts``,
+        ordered by the physical position of the visible version — the
+        order a full :meth:`snapshot` scan would produce them in."""
+        found = []
+        for key in self._versions:
+            idx = self.visible_version(key, ts)
+            if idx is not None:
+                found.append((idx, key))
+        found.sort()
+        return [(key, self.table.row(idx)[:-2]) for idx, key in found]
 
     def snapshot(self, ts: int) -> Iterator[Tuple[Any, ...]]:
         """User-schema tuples of every version valid at time ``ts``."""
@@ -150,8 +179,7 @@ class Transaction:
         applied on top (read-your-writes)."""
         self._check_active()
         table = self.manager.table
-        key_idx = table.user_schema.index_of(table.key_column)
-        rows = {row[key_idx]: row for row in table.snapshot(self.start_ts)}
+        rows = {key: row for key, row in table.visible_rows(self.start_ts)}
         for key, (op, values) in self.write_set.items():
             if op == "delete":
                 rows.pop(key, None)
@@ -160,35 +188,67 @@ class Transaction:
         return list(rows.values())
 
     def read(self, key: Any) -> Optional[Tuple[Any, ...]]:
+        """Point read: own buffered write, else the key's version chain
+        (via the per-key index — O(chain), not O(n_versions))."""
         self._check_active()
         table = self.manager.table
-        key_idx = table.user_schema.index_of(table.key_column)
         if key in self.write_set:
             op, values = self.write_set[key]
             return None if op == "delete" else tuple(values)
-        for row in table.snapshot(self.start_ts):
-            if row[key_idx] == key:
-                return row
-        return None
+        idx = table.visible_version(key, self.start_ts)
+        if idx is None:
+            return None
+        return table.table.row(idx)[:-2]
 
     # -- buffered writes ------------------------------------------------------------
+    #
+    # Same-key operations coalesce at buffer time into the single table
+    # operation their net effect requires, so the write set always applies
+    # cleanly at commit: insert→update stays an insert (of the new values),
+    # delete→insert of a snapshot-visible key becomes an update, and
+    # insert→delete cancels out. Without this the dict write-set collapses
+    # such pairs into an op that fails against live table state mid-apply,
+    # after other keys' writes already landed.
     def insert(self, values: Sequence[Any]) -> None:
         self._check_active()
-        key = values[self.manager.table.user_schema.index_of(self.manager.table.key_column)]
+        table = self.manager.table
+        key = values[table.user_schema.index_of(table.key_column)]
         if self.read(key) is not None:
             raise TransactionError(f"insert: key {key!r} already visible")
+        pending = self.write_set.get(key)
+        if (pending is not None and pending[0] == "delete"
+                and table.visible_version(key, self.start_ts) is not None):
+            # Re-insert over a snapshot-visible version this transaction
+            # deleted: the table sees one close-and-append, i.e. an update.
+            self.write_set[key] = ("update", tuple(values))
+            return
         self.write_set[key] = ("insert", tuple(values))
 
     def update(self, key: Any, values: Sequence[Any]) -> None:
         self._check_active()
+        table = self.manager.table
         if self.read(key) is None:
             raise TransactionError(f"update: key {key!r} not visible")
+        new_key = values[table.user_schema.index_of(table.key_column)]
+        if new_key != key:
+            raise TransactionError("updates may not change the row key")
+        pending = self.write_set.get(key)
+        if pending is not None and pending[0] == "insert":
+            # The row exists only in this transaction's buffer: the table
+            # will see a plain insert of the latest values.
+            self.write_set[key] = ("insert", tuple(values))
+            return
         self.write_set[key] = ("update", tuple(values))
 
     def delete(self, key: Any) -> None:
         self._check_active()
         if self.read(key) is None:
             raise TransactionError(f"delete: key {key!r} not visible")
+        pending = self.write_set.get(key)
+        if pending is not None and pending[0] == "insert":
+            # The insert never reached the table; the pair is a no-op.
+            del self.write_set[key]
+            return
         self.write_set[key] = ("delete", None)
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -243,6 +303,20 @@ class TransactionManager:
                 raise WriteConflictError(
                     f"write-write conflict on key {key!r}: committed at "
                     f"ts={last} after snapshot ts={txn.start_ts}"
+                )
+        # Validate the whole write set against live table state before
+        # mutating anything: either every write applies or none does.
+        for key, (op, _values) in txn.write_set.items():
+            live = self.table.live_version_of(key)
+            if op == "insert" and live is not None:
+                txn.active = False
+                raise TransactionError(
+                    f"commit: key {key!r} already has a live version"
+                )
+            if op in ("update", "delete") and live is None:
+                txn.active = False
+                raise TransactionError(
+                    f"commit: key {key!r} has no live version"
                 )
         commit_ts = self._tick()
         for key, (op, values) in txn.write_set.items():

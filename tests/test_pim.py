@@ -20,17 +20,22 @@ from repro.pim import (
     PimUnsupportedError,
     PIMCostModel,
     SelectionBitmap,
+    bank_of_key,
+    estimate_join_ns,
     estimate_query_ns,
     expected_pages_touched,
     predicate_spec,
+    supports_join,
     supports_query,
 )
 from repro.query.engines import CPU, PIM
 from repro.query.executor import QueryExecutor
 from repro.query.expr import Col
-from repro.query.optimizer import choose_access_path
-from repro.query.processor import Processor
+from repro.query.optimizer import choose_access_path, choose_join_path
+from repro.query.processor import Processor, join_relation
 from repro.query.queries import Query, q1, q2, q4
+from repro.storage.row_table import RowTable
+from repro.storage.schema import Column, Schema, intn
 
 
 # -- bitmap algebra ---------------------------------------------------------------
@@ -135,12 +140,32 @@ def test_supports_query_reasons():
     assert supports_query(q2(k=0)) == ""
     assert supports_query(q4()) == ""
     assert "push down" in supports_query(q1())  # bare full projection
-    grouped = Query(name="g", sql="", select=(), aggregate="sum",
-                    agg_expr=Col("A1"), group_by="A2")
-    assert "GROUP BY" in supports_query(grouped)
+    grouped_sum = Query(name="g", sql="", select=(), aggregate="sum",
+                        agg_expr=Col("A1"), group_by="A2")
+    assert supports_query(grouped_sum) == ""  # banks fold per-group state
+    grouped_avg = Query(name="ga", sql="", select=(), aggregate="avg",
+                        agg_expr=Col("A1"), group_by="A2")
+    assert "group accumulators" in supports_query(grouped_avg)
+    bare_group = Query(name="bg", sql="", select=("A1",), group_by="A2")
+    assert "GROUP BY without an aggregate" in supports_query(bare_group)
     arithmetic = Query(name="m", sql="", select=(), aggregate="sum",
                        agg_expr=Col("A1") * Col("A2"))
     assert supports_query(arithmetic) != ""
+
+
+def test_supports_join_reasons():
+    lhs = Query(name="dim", sql="", select=("K", "D1"))
+    rhs = Query(name="fact", sql="", select=("K", "A1"),
+                predicate=Col("F1") > 0)
+    assert supports_join("K", lhs, rhs) == ""
+    no_key = Query(name="nokey", sql="", select=("D1",))
+    assert "does not project the join key" in supports_join("K", no_key, rhs)
+    agg = Query(name="agg", sql="", select=(), aggregate="sum",
+                agg_expr=Col("A1"))
+    assert "aggregate" in supports_join("K", lhs, agg)
+    arith = Query(name="arith", sql="", select=("K",),
+                  predicate=(Col("A1") * Col("A2")) > 0)
+    assert supports_join("K", lhs, arith) != ""
 
 
 # -- byte-identity against the software paths -------------------------------------
@@ -343,3 +368,178 @@ def test_degraded_plan_reroots_like_rme():
     assert report.degraded
     assert "@degraded" in report.explain()
     assert "@pim" in processor.explain(report.planned)
+
+
+# -- in-bank joins and grouped aggregation ----------------------------------------
+
+
+def make_join_pair(n_fact=256, n_dim=32, seed=7):
+    """A dim/fact pair sharing an integer join key column ``K``."""
+    import random
+
+    rng = random.Random(seed)
+    i4 = intn(4)
+    dim = RowTable("D", Schema([Column("K", i4), Column("D1", i4)]))
+    fact = RowTable("F", Schema([Column("K", i4), Column("A1", i4),
+                                 Column("F1", i4)]))
+    for k in range(n_dim):
+        dim.append([k, rng.randint(-1000, 1000)])
+    for _ in range(n_fact):
+        fact.append([rng.randrange(n_dim), rng.randint(-1000, 1000),
+                     rng.randint(-1000, 1000)])
+    return dim, fact
+
+
+DIM_Q = Query(name="dim", sql="", select=("K", "D1"))
+FACT_Q = Query(name="fact", sql="", select=("K", "A1"),
+               predicate=Col("F1") > 0)
+GROUPED_Q = Query(name="gsum", sql="", select=(), aggregate="sum",
+                  agg_expr=Col("A1"), predicate=Col("F1") > 0,
+                  group_by="K")
+
+
+def test_bank_of_key_spreads_keys():
+    assert {bank_of_key(k, 8) for k in range(64)} == set(range(8))
+    assert bank_of_key(-3, 8) in range(8)
+    with pytest.raises(ConfigurationError):
+        bank_of_key(1, 0)
+
+
+def join_shootout(lhs_q=DIM_Q, rhs_q=FACT_Q, **kwargs):
+    dim, fact = make_join_pair(**kwargs)
+    results = []
+    for engine in (CPU, PIM):
+        system = RelationalMemorySystem()
+        ld, lf = system.load_table(dim), system.load_table(fact)
+        processor = Processor(system)
+        plan = processor.plan_join("K", lhs_q, ld, rhs_q, lf, engine=engine)
+        results.append(processor.execute(plan.relation,
+                                         tables={"D": ld, "F": lf}))
+    return results
+
+
+def test_pim_join_byte_identical_to_cpu():
+    cpu, pim = join_shootout()
+    assert pim.value == cpu.value
+    assert len(pim.value) > 0
+    assert pim.path is AccessPath.PIM
+    assert cpu.path is AccessPath.DIRECT_ROW
+    assert pim.elapsed_ns > 0 and cpu.elapsed_ns > 0
+
+
+def test_pim_join_unfiltered_sides_byte_identical():
+    bare = Query(name="fact", sql="", select=("K", "A1"))
+    cpu, pim = join_shootout(rhs_q=bare)
+    assert pim.value == cpu.value
+    assert len(pim.value) == 256
+
+
+def test_pim_grouped_aggregation_byte_identical():
+    _, fact = make_join_pair()
+    system = RelationalMemorySystem()
+    loaded = system.load_table(fact)
+    processor = Processor(system)
+    cpu = processor.run(GROUPED_Q, loaded, engine=CPU).result
+    pim = processor.run(GROUPED_Q, loaded, engine=PIM).result
+    assert repr(pim.value) == repr(cpu.value)  # same values, same order
+    assert pim.path is AccessPath.PIM
+
+
+@pytest.mark.parametrize("func", ["count", "min", "max"])
+def test_pim_grouped_other_folds_byte_identical(func):
+    query = Query(name=f"g{func}", sql="", select=(), aggregate=func,
+                  agg_expr=Col("A1"), group_by="K")
+    _, fact = make_join_pair()
+    system = RelationalMemorySystem()
+    loaded = system.load_table(fact)
+    processor = Processor(system)
+    cpu = processor.run(query, loaded, engine=CPU).result
+    pim = processor.run(query, loaded, engine=PIM).result
+    assert repr(pim.value) == repr(cpu.value)
+
+
+def test_pim_join_plan_shows_bank_boundary():
+    tree = join_relation("K", DIM_Q, FACT_Q, engine=PIM)
+    from repro.query.relation import print_tree
+
+    text = print_tree(tree)
+    assert "Join[K] @pim" in text
+    assert "Transfer[pim → cpu]" in text
+
+
+def test_pim_join_rejects_ineligible_sides():
+    no_key = Query(name="nokey", sql="", select=("D1",))
+    with pytest.raises(QueryError, match="not PIM-evaluable"):
+        join_relation("K", no_key, FACT_Q, engine=PIM)
+
+
+def test_join_optimizer_prefers_pim_at_low_selectivity():
+    dim, fact = make_join_pair(n_fact=4096, n_dim=64)
+    system = RelationalMemorySystem()
+    ld, lf = system.load_table(dim), system.load_table(fact)
+    selective = Query(name="fact", sql="", select=("K", "A1"),
+                      predicate=Col("F1") > 990)
+    choice = choose_join_path("K", DIM_Q, ld, selective, lf,
+                              rhs_selectivity=0.005)
+    assert choice.best is AccessPath.PIM
+    wide = choose_join_path("K", DIM_Q, ld, FACT_Q, lf,
+                            rhs_selectivity=1.0)
+    assert wide.best is AccessPath.DIRECT_ROW
+
+
+def test_estimate_join_scales_with_matches():
+    dim, fact = make_join_pair()
+    low = estimate_join_ns("K", DIM_Q, dim.schema, 32, FACT_Q, fact.schema,
+                           4096, rhs_selectivity=0.01)
+    high = estimate_join_ns("K", DIM_Q, dim.schema, 32, FACT_Q, fact.schema,
+                            4096, rhs_selectivity=1.0)
+    assert low < high
+
+
+def test_more_ranks_shrink_bank_time_not_readout():
+    one = PIMCostModel(n_ranks=1)
+    four = PIMCostModel(n_ranks=4)
+    assert four.bank_scan_ns(2, 64, 1) < one.bank_scan_ns(2, 64, 1)
+    assert four.group_fold_ns(64, 4, 4) < one.group_fold_ns(64, 4, 4)
+    assert four.readout_ns(256) == one.readout_ns(256)
+    assert four.merge_groups_ns(64) == one.merge_groups_ns(64)
+    with pytest.raises(ConfigurationError):
+        PIMCostModel(n_ranks=0)
+
+
+def test_pim_join_fault_degrades_to_software():
+    dim, fact = make_join_pair()
+    system = RelationalMemorySystem()
+    ld, lf = system.load_table(dim), system.load_table(fact)
+    injector = system.enable_faults(
+        FaultPlan.single("dram_bitflip", 0.0, severity=2), DEFAULT_RECOVERY
+    )
+    processor = Processor(system)
+    plan = processor.plan_join("K", DIM_Q, ld, FACT_Q, lf, engine=PIM)
+    result = processor.execute(plan.relation, tables={"D": ld, "F": lf})
+    assert result.state == "degraded"
+    assert result.path is AccessPath.DIRECT_ROW
+    assert injector.stats.count("cpu_fallbacks") == 1
+    report = processor.last_report
+    assert report.degraded
+    assert "@degraded" in report.explain()
+    fresh = RelationalMemorySystem()
+    fd, ff = fresh.load_table(dim), fresh.load_table(fact)
+    clean = Processor(fresh)
+    baseline = clean.execute(
+        clean.plan_join("K", DIM_Q, fd, FACT_Q, ff, engine=CPU).relation,
+        tables={"D": fd, "F": ff})
+    assert result.value == baseline.value
+
+
+def test_pim_join_fault_without_fallback_raises():
+    dim, fact = make_join_pair()
+    system = RelationalMemorySystem()
+    ld, lf = system.load_table(dim), system.load_table(fact)
+    system.enable_faults(
+        FaultPlan.single("dram_bitflip", 0.0, severity=2), NO_RECOVERY
+    )
+    processor = Processor(system)
+    plan = processor.plan_join("K", DIM_Q, ld, FACT_Q, lf, engine=PIM)
+    with pytest.raises(FaultError):
+        processor.execute(plan.relation, tables={"D": ld, "F": lf})

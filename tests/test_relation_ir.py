@@ -24,8 +24,10 @@ from repro.query.expr import Col
 from repro.query.processor import (
     Processor,
     explain_placement,
+    join_relation,
     relation_from_query,
     reroot_degraded,
+    reroot_degraded_join,
     scan_engine,
     to_query,
 )
@@ -365,6 +367,18 @@ def render_golden_plans():
     plans["Q4-pim"] = print_tree(relation_from_query(q4(), engine=PIM))
     plans["Q4-pim-degraded"] = print_tree(
         reroot_degraded(relation_from_query(q4(), engine=PIM)))
+    grouped = Query(name="G1", sql="SELECT SUM(A1) FROM S WHERE A2 > 0 "
+                    "GROUP BY A3", select=(), aggregate="sum",
+                    agg_expr=Col("A1"), predicate=Col("A2") > 0,
+                    group_by="A3")
+    plans["G1-pim"] = print_tree(relation_from_query(grouped, engine=PIM))
+    dim = Query(name="dim", sql="", select=("K", "D1"))
+    fact = Query(name="fact", sql="", select=("K", "A1"),
+                 predicate=Col("F1") > 0)
+    plans["join-pim"] = print_tree(join_relation("K", dim, fact, engine=PIM))
+    plans["join-pim-degraded"] = print_tree(
+        reroot_degraded_join(join_relation("K", dim, fact, engine=PIM)))
+    plans["join-cpu"] = print_tree(join_relation("K", dim, fact, engine=CPU))
     return plans
 
 
